@@ -1,0 +1,33 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one of the paper's figures at a reduced
+scale (set REPRO_BENCH_SCALE=1.0 for the paper's full iteration counts)
+and prints the resulting table, so ``pytest benchmarks/
+--benchmark-only`` reproduces the evaluation section end to end.
+"""
+
+import os
+
+import pytest
+
+from repro.config import ExperimentScale
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.02"))
+
+
+@pytest.fixture(scope="session")
+def scale() -> ExperimentScale:
+    return ExperimentScale.scaled(SCALE)
+
+
+@pytest.fixture(scope="session")
+def bench_sizes():
+    """Machine sizes for the latency sweeps."""
+    sizes = os.environ.get("REPRO_BENCH_SIZES", "1,2,4,8,16,32")
+    return tuple(int(s) for s in sizes.split(","))
+
+
+def run_once(benchmark, fn, *args, **kw):
+    """Run ``fn`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kw,
+                              rounds=1, iterations=1)

@@ -1,0 +1,71 @@
+"""Ablation A11: cache associativity.
+
+The paper's machine has direct-mapped caches; conflict evictions are
+what let the update-conscious MCS flushes hurt and what make block
+placement matter.  This bench sweeps LRU associativity on an
+eviction-heavy workload (small caches, many blocks) to quantify how
+much of the eviction-miss traffic is conflict-induced.
+"""
+
+from repro.config import MachineConfig, Protocol
+from repro.isa.ops import Compute, Fence, Read, Write
+from repro.metrics import format_table
+from repro.runtime import Machine
+
+from conftest import run_once
+
+P = 8
+BLOCKS_PER_NODE = 10
+CACHE_BYTES = 4 * 64          # 4 lines: capacity 4 blocks
+
+
+def _run(assoc, rounds):
+    cfg = MachineConfig(num_procs=P, protocol=Protocol.WI,
+                        cache_size_bytes=CACHE_BYTES,
+                        cache_associativity=assoc)
+    m = Machine(cfg, max_events=50_000_000)
+    # every allocation for home n lands on the same direct-mapped index
+    # (block = round*P + n, and P is a multiple of the 4-line cache's
+    # set count), so a node's two hot words ping-pong under
+    # direct mapping but coexist in any associative geometry
+    hot = [[m.memmap.alloc_word(n, f"hot{n}.{k}") for k in range(2)]
+           for n in range(P)]
+
+    def prog(node):
+        a, b = hot[node]
+        for r in range(rounds):
+            for _ in range(BLOCKS_PER_NODE):
+                yield Read(a)
+                yield Read(b)
+            yield Write(a, r)
+            yield Compute(9)
+        yield Fence()
+
+    m.spawn_all(prog)
+    r = m.run()
+    return [r.total_cycles, r.misses["eviction"], r.misses["total"]]
+
+
+def _sweep(scale):
+    rounds = max(6, scale.barrier_episodes // 8)
+    rows = []
+    for assoc in (1, 2, 4):
+        label = {1: "direct-mapped (paper)", 2: "2-way LRU",
+                 4: "fully assoc. (4-way)"}[assoc]
+        rows.append([label] + _run(assoc, rounds))
+    return rows
+
+
+def test_ablation_cache_associativity(benchmark, scale):
+    rows = run_once(benchmark, _sweep, scale)
+    print()
+    print(format_table(
+        ["cache", "cycles", "eviction misses", "total misses"],
+        rows,
+        title=f"Ablation: cache associativity ({P} processors, "
+              f"{CACHE_BYTES // 64}-line caches, WI)"))
+    # higher associativity keeps the hot blocks resident
+    evictions = [r[2] for r in rows]
+    assert evictions[0] > evictions[1] >= evictions[2]
+    cycles = [r[1] for r in rows]
+    assert cycles[0] > cycles[2]

@@ -1,0 +1,66 @@
+"""Ablation A9: architectural sensitivity of the ucMCS tradeoff.
+
+Paper section 4.1: "the extent to which the reductions in traffic
+provided by our update-conscious MCS lock lead to performance
+improvements depends on the architectural characteristics of the
+multiprocessor: performance improvements are inversely proportional to
+communication bandwidth and latency."
+
+This bench sweeps the network datapath width and the memory latency and
+tracks ucMCS's latency relative to standard MCS under PU: the relative
+cost of the flushes must shrink as bandwidth drops / latency grows
+(the stale-sharer traffic they remove gets more expensive).
+"""
+
+from repro.config import MachineConfig, Protocol
+from repro.metrics import format_table
+from repro.workloads import run_lock_workload
+
+from conftest import run_once
+
+P = 16
+
+
+def _run(kind, **cfg_kw):
+    cfg = MachineConfig(num_procs=P, protocol=Protocol.PU, **cfg_kw)
+    return run_lock_workload(cfg, kind, total_acquires=3200)
+
+
+def _sweep(scale):
+    rows = []
+    for fb, label in ((4, "2x bandwidth (32-bit)"),
+                      (2, "paper (16-bit)"),
+                      (1, "1/2 bandwidth (8-bit)")):
+        mcs = _run("MCS", flit_bytes=fb)
+        uc = _run("uc", flit_bytes=fb)
+        rows.append([label, mcs.avg_latency, uc.avg_latency,
+                     uc.avg_latency / mcs.avg_latency,
+                     mcs.result.updates["total"],
+                     uc.result.updates["total"]])
+    for ml, label in ((20, "paper memory (20cy)"),
+                      (60, "3x memory latency"),):
+        mcs = _run("MCS", mem_first_word_cycles=ml)
+        uc = _run("uc", mem_first_word_cycles=ml)
+        rows.append([label, mcs.avg_latency, uc.avg_latency,
+                     uc.avg_latency / mcs.avg_latency,
+                     mcs.result.updates["total"],
+                     uc.result.updates["total"]])
+    return rows
+
+
+def test_ablation_bandwidth_sensitivity(benchmark, scale):
+    rows = run_once(benchmark, _sweep, scale)
+    print()
+    print(format_table(
+        ["architecture", "MCS-u lat", "uc-u lat", "uc/MCS",
+         "MCS updates", "uc updates"],
+        rows,
+        title=f"Ablation: ucMCS vs bandwidth/latency ({P} processors, "
+              f"PU)"))
+    # the uc/MCS latency ratio must improve monotonically as the
+    # network narrows (the removed traffic gets more expensive)
+    bw_ratios = [r[3] for r in rows[:3]]
+    assert bw_ratios[0] > bw_ratios[1] > bw_ratios[2], bw_ratios
+    # the traffic reduction itself is architecture-independent
+    for r in rows:
+        assert r[5] < r[4] / 5

@@ -1,0 +1,54 @@
+"""Ablation A8: release consistency vs sequential consistency.
+
+The paper's machine uses release consistency: writes retire through the
+write buffer and the processor only stalls for acknowledgements at
+release points.  This ablation re-runs the lock and barrier synthetics
+with every write stalling until globally performed (SC), quantifying
+how much of the update protocols' performance comes from RC hiding the
+write-through latency.
+"""
+
+from repro.config import MachineConfig, Protocol
+from repro.metrics import format_table
+from repro.workloads import run_barrier_workload, run_lock_workload
+
+from conftest import run_once
+
+P = 16
+
+
+def _sweep(scale):
+    rows = []
+    for proto in (Protocol.WI, Protocol.PU):
+        for sc in (False, True):
+            cfg = MachineConfig(num_procs=P, protocol=proto,
+                                sequential_consistency=sc)
+            lock = run_lock_workload(
+                cfg, "MCS", total_acquires=scale.lock_total_acquires)
+            bar = run_barrier_workload(
+                cfg, "db", episodes=scale.barrier_episodes)
+            rows.append([
+                f"{proto.value}/{'SC' if sc else 'RC'}",
+                lock.avg_latency,
+                bar.avg_latency,
+            ])
+    return rows
+
+
+def test_ablation_consistency_model(benchmark, scale):
+    rows = run_once(benchmark, _sweep, scale)
+    print()
+    print(format_table(
+        ["model", "MCS lock latency", "dissem. barrier latency"],
+        rows,
+        title=f"Ablation: release vs sequential consistency "
+              f"({P} processors)"))
+    table = {r[0]: r for r in rows}
+    # RC must not be slower than SC anywhere, and the write-through PU
+    # protocol must benefit visibly (its writes have the longest
+    # global-perform latency to hide)
+    for proto in ("wi", "pu"):
+        assert table[f"{proto}/RC"][1] <= table[f"{proto}/SC"][1] * 1.01
+        assert table[f"{proto}/RC"][2] <= table[f"{proto}/SC"][2] * 1.01
+    pu_barrier_gain = table["pu/SC"][2] / table["pu/RC"][2]
+    assert pu_barrier_gain > 1.05

@@ -1,0 +1,52 @@
+"""Ablation A4: the competitive-update threshold.
+
+The paper fixes the CU counter threshold at 4 updates.  This bench
+sweeps it for the two constructs most sensitive to it -- the MCS lock
+(stale queue-node sharers should be dropped quickly) and the
+centralized barrier (the spinning sense flag must NOT be dropped) --
+quantifying the design point.
+"""
+
+from repro.config import MachineConfig, Protocol
+from repro.metrics import format_table
+from repro.workloads import run_barrier_workload, run_lock_workload
+
+from conftest import run_once
+
+P = 16
+THRESHOLDS = (1, 2, 4, 8, 16)
+
+
+def _sweep(scale):
+    rows = []
+    for thr in THRESHOLDS:
+        cfg = MachineConfig(num_procs=P, protocol=Protocol.CU,
+                            update_threshold=thr)
+        lock = run_lock_workload(
+            cfg, "MCS", total_acquires=scale.lock_total_acquires)
+        bar = run_barrier_workload(
+            cfg, "cb", episodes=scale.barrier_episodes)
+        rows.append([
+            thr,
+            lock.avg_latency,
+            lock.result.updates["total"],
+            lock.result.misses["drop"],
+            bar.avg_latency,
+            bar.result.updates["total"],
+        ])
+    return rows
+
+
+def test_ablation_cu_threshold(benchmark, scale):
+    rows = run_once(benchmark, _sweep, scale)
+    print()
+    print(format_table(
+        ["threshold", "MCS lat", "MCS updates", "MCS drop-misses",
+         "cb lat", "cb updates"],
+        rows,
+        title=f"Ablation: CU threshold sweep ({P} processors)"))
+    by_thr = {r[0]: r for r in rows}
+    # a larger threshold admits more update traffic before dropping
+    assert by_thr[16][2] >= by_thr[1][2]
+    # a tiny threshold drops aggressively: most drop misses
+    assert by_thr[1][3] >= by_thr[16][3]

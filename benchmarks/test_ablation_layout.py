@@ -1,0 +1,92 @@
+"""Ablation A6: data-layout sensitivity.
+
+Three layout decisions the paper's placement discipline ("shared data
+are mapped to the processors that use them most frequently") makes, and
+what careless alternatives cost:
+
+* ticket lock: both counters in one block (the MCS-paper record) vs
+  padded into separate blocks;
+* central barrier: count and sense colocated vs separate blocks;
+* sequential reduction: ``local_max`` slots padded at their writers vs
+  a contiguous interleaved array (cross-slot false sharing).
+"""
+
+from repro.config import MachineConfig, Protocol
+from repro.metrics import format_table
+from repro.workloads import (
+    run_barrier_workload, run_lock_workload, run_reduction_workload,
+)
+
+from conftest import run_once
+
+P = 16
+
+
+def _sweep(scale):
+    rows = []
+    for proto in (Protocol.WI, Protocol.PU):
+        lock_co = run_lock_workload(
+            MachineConfig(num_procs=P, protocol=proto), "tk",
+            total_acquires=scale.lock_total_acquires, colocate=True)
+        lock_pad = run_lock_workload(
+            MachineConfig(num_procs=P, protocol=proto), "tk",
+            total_acquires=scale.lock_total_acquires, colocate=False)
+        rows.append([f"ticket {proto.short}: colocated",
+                     lock_co.avg_latency,
+                     lock_co.result.misses["total"],
+                     lock_co.result.updates["total"]])
+        rows.append([f"ticket {proto.short}: padded",
+                     lock_pad.avg_latency,
+                     lock_pad.result.misses["total"],
+                     lock_pad.result.updates["total"]])
+
+        bar_sep = run_barrier_workload(
+            MachineConfig(num_procs=P, protocol=proto), "cb",
+            episodes=scale.barrier_episodes, colocate=False)
+        bar_co = run_barrier_workload(
+            MachineConfig(num_procs=P, protocol=proto), "cb",
+            episodes=scale.barrier_episodes, colocate=True)
+        rows.append([f"central {proto.short}: separate",
+                     bar_sep.avg_latency,
+                     bar_sep.result.misses["total"],
+                     bar_sep.result.updates["total"]])
+        rows.append([f"central {proto.short}: colocated",
+                     bar_co.avg_latency,
+                     bar_co.result.misses["total"],
+                     bar_co.result.updates["total"]])
+
+        red_pad = run_reduction_workload(
+            MachineConfig(num_procs=P, protocol=proto), "sr",
+            iterations=scale.reduction_iters, padded=True)
+        red_seq = run_reduction_workload(
+            MachineConfig(num_procs=P, protocol=proto), "sr",
+            iterations=scale.reduction_iters, padded=False)
+        rows.append([f"seq-red {proto.short}: padded",
+                     red_pad.avg_latency,
+                     red_pad.result.misses["total"],
+                     red_pad.result.updates["total"]])
+        rows.append([f"seq-red {proto.short}: contiguous",
+                     red_seq.avg_latency,
+                     red_seq.result.misses["total"],
+                     red_seq.result.updates["total"]])
+    return rows
+
+
+def test_ablation_layout(benchmark, scale):
+    rows = run_once(benchmark, _sweep, scale)
+    print()
+    print(format_table(
+        ["layout", "latency", "misses", "updates"], rows,
+        title=f"Ablation: data-layout sensitivity ({P} processors)"))
+    table = {r[0]: r for r in rows}
+    # colocating the barrier's count+sense puts every arrival's counter
+    # update into the spinners' block: a large slowdown under PU (all
+    # that traffic lands on cached copies) and a visible one under WI
+    assert (table["central u: colocated"][1]
+            > table["central u: separate"][1])
+    assert (table["central u: colocated"][3]
+            > table["central u: separate"][3])
+    # contiguous local_max slots inflict cross-slot sharing on the
+    # sequential reduction under PU
+    assert (table["seq-red u: contiguous"][1]
+            > table["seq-red u: padded"][1])

@@ -1,0 +1,45 @@
+"""Ablations A1/A2: the paper's reduced-contention lock variants.
+
+A1 -- pseudo-random bounded delay after each release;
+A2 -- work outside the critical section equal to P x the work inside
+(+-10%).  Section 4.1 reports both are qualitatively identical to the
+tight loop; these benches regenerate the comparison.
+"""
+
+from repro.config import ALL_PROTOCOLS, MachineConfig, Protocol
+from repro.metrics import Series
+from repro.workloads import run_lock_workload
+
+from conftest import run_once
+
+P = 16
+
+
+def _sweep(scale, delay_mode):
+    series = Series(
+        title=f"Ablation: lock latency, delay_mode={delay_mode} ({P}p)",
+        xlabel="procs", ylabel="avg acquire-release latency (cycles)")
+    for kind in ("tk", "MCS", "uc"):
+        for proto in ALL_PROTOCOLS:
+            cfg = MachineConfig(num_procs=P, protocol=proto)
+            res = run_lock_workload(
+                cfg, kind, total_acquires=scale.lock_total_acquires,
+                delay_mode=delay_mode)
+            series.add(f"{kind}-{proto.short}", P, res.avg_latency)
+    return series
+
+
+def test_ablation_lock_random_delay(benchmark, scale):
+    series = run_once(benchmark, _sweep, scale, "random")
+    print()
+    print(series.render())
+    # qualitative ranking survives reduced contention (section 4.1)
+    assert series.get("tk-u", P) < series.get("tk-i", P)
+    assert series.get("MCS-c", P) < series.get("tk-i", P)
+
+
+def test_ablation_lock_proportional_work(benchmark, scale):
+    series = run_once(benchmark, _sweep, scale, "proportional")
+    print()
+    print(series.render())
+    assert series.get("tk-u", P) < series.get("tk-i", P)

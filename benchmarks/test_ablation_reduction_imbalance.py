@@ -1,0 +1,37 @@
+"""Ablation A3: load-imbalanced reductions (paper section 4.3).
+
+With pseudo-random local work before each reduction, lock contention
+drops; the paper reports parallel reductions then become more efficient
+than sequential ones, while parallel+PU/CU still beats parallel+WI.
+"""
+
+from repro.config import ALL_PROTOCOLS, MachineConfig, Protocol
+from repro.metrics import Series
+from repro.workloads import run_reduction_workload
+
+from conftest import run_once
+
+P = 32
+
+
+def _sweep(scale):
+    series = Series(
+        title=f"Ablation: imbalanced reductions ({P}p)",
+        xlabel="procs", ylabel="avg reduction latency (cycles)")
+    for kind in ("sr", "pr"):
+        for proto in ALL_PROTOCOLS:
+            cfg = MachineConfig(num_procs=P, protocol=proto)
+            res = run_reduction_workload(
+                cfg, kind, iterations=scale.reduction_iters,
+                imbalance=True)
+            series.add(f"{kind}-{proto.short}", P, res.avg_latency)
+    return series
+
+
+def test_ablation_reduction_imbalance(benchmark, scale):
+    series = run_once(benchmark, _sweep, scale)
+    print()
+    print(series.render())
+    # parallel reductions with PU/CU beat parallel with WI (sec 4.3)
+    assert series.get("pr-u", P) < series.get("pr-i", P)
+    assert series.get("pr-c", P) < series.get("pr-i", P)

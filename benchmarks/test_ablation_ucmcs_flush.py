@@ -1,0 +1,78 @@
+"""Ablation A5: which update-conscious MCS flush matters?
+
+The paper's modification flushes both the predecessor's queue node
+(after linking behind it) and the successor's (after handing over the
+lock).  This bench isolates each flush's contribution to the update
+reduction / miss increase tradeoff, plus the retain-private
+optimization's role.
+"""
+
+from repro.config import MachineConfig, Protocol
+from repro.metrics import format_table
+from repro.sync.locks import MCSLock
+from repro.workloads.locks import DEFAULT_JITTER_CYCLES
+from repro.isa.ops import Compute
+from repro.runtime import Machine
+
+from conftest import run_once
+
+import random
+
+P = 16
+HOLD = 50
+
+
+def _selective_mcs(machine, flush_pred: bool, flush_succ: bool):
+    lock = MCSLock(machine)
+    lock.flush_pred = flush_pred
+    lock.flush_succ = flush_succ
+    return lock
+
+
+def _run(lock_factory, total):
+    cfg = MachineConfig(num_procs=P, protocol=Protocol.PU)
+    m = Machine(cfg, max_events=20_000_000)
+    lock = lock_factory(m)
+    iters = max(1, total // P)
+
+    def prog(node):
+        rng = random.Random(0xF1A5 + node)
+        for _ in range(iters):
+            tok = yield from lock.acquire(node)
+            yield Compute(HOLD)
+            yield from lock.release(node, tok)
+            yield Compute(rng.randint(0, DEFAULT_JITTER_CYCLES))
+
+    m.spawn_all(prog)
+    r = m.run()
+    lat = r.total_cycles / (iters * P) - HOLD
+    return [lat, r.misses["total"], r.updates["total"]]
+
+
+def _sweep(scale):
+    total = scale.lock_total_acquires
+    rows = []
+    for label, fp, fs in (("none (standard MCS)", False, False),
+                          ("flush pred only", True, False),
+                          ("flush succ only", False, True),
+                          ("both (paper's ucMCS)", True, True)):
+        rows.append([label] + _run(
+            lambda m, fp=fp, fs=fs: _selective_mcs(m, fp, fs), total))
+    return rows
+
+
+def test_ablation_ucmcs_flush(benchmark, scale):
+    rows = run_once(benchmark, _sweep, scale)
+    print()
+    print(format_table(
+        ["flush policy", "latency", "misses", "updates"], rows,
+        title=f"Ablation: update-conscious MCS flush policy "
+              f"({P} processors, PU)"))
+    table = {r[0]: r for r in rows}
+    # each flush removes a source of stale sharing; both together
+    # minimize update traffic
+    assert (table["both (paper's ucMCS)"][3]
+            <= table["none (standard MCS)"][3])
+    # ... while costing extra (re-fetch) misses
+    assert (table["both (paper's ucMCS)"][2]
+            >= table["none (standard MCS)"][2])

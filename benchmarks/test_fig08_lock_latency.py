@@ -1,0 +1,21 @@
+"""Figure 8: average acquire-release latency of the three spin locks
+under the three protocols, swept over machine sizes."""
+
+from repro.experiments import fig8_lock_latency
+
+from conftest import run_once
+
+
+def test_fig8_lock_latency(benchmark, scale, bench_sizes):
+    series = run_once(benchmark, fig8_lock_latency,
+                      scale=scale, sizes=bench_sizes)
+    print()
+    print(series.render())
+
+    # headline shapes (paper section 4.1) at the largest size measured
+    top = max(bench_sizes)
+    if top >= 16:
+        assert series.get("tk-u", top) < series.get("tk-i", top)
+        assert series.get("tk-c", top) < series.get("tk-i", top)
+        assert series.get("MCS-c", top) < series.get("MCS-i", top)
+        assert series.get("MCS-i", top) < series.get("tk-i", top)

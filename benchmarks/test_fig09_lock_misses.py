@@ -1,0 +1,22 @@
+"""Figure 9: miss traffic of the spin locks at 32 processors,
+classified as cold / true / false / eviction / drop + exclusive
+requests."""
+
+from repro.experiments import fig9_lock_misses
+
+from conftest import run_once
+
+
+def test_fig9_lock_misses(benchmark, scale):
+    bars = run_once(benchmark, fig9_lock_misses, scale=scale)
+    print()
+    print(bars.render())
+
+    # WI lock misses dwarf the update protocols' (section 4.1)
+    assert bars.total("tk-i") > 10 * bars.total("tk-u")
+    assert bars.total("MCS-i") > bars.total("MCS-u")
+    # the uc flushes inflate misses relative to standard MCS under PU
+    assert bars.total("uc-u") > bars.total("MCS-u")
+    # ticket WI misses are true sharing (counter reloads)
+    tk_i = bars.bars["tk-i"]
+    assert tk_i["true"] > tk_i["cold"]

@@ -1,0 +1,22 @@
+"""Figure 10: update traffic of the spin locks at 32 processors under
+PU and CU, classified as useful / false / proliferation / replacement /
+termination / drop."""
+
+from repro.experiments import fig10_lock_updates
+
+from conftest import run_once
+
+
+def test_fig10_lock_updates(benchmark, scale):
+    bars = run_once(benchmark, fig10_lock_updates, scale=scale)
+    print()
+    print(bars.render())
+
+    # the uc modification cuts the MCS lock's update traffic (sec 4.1)
+    assert bars.total("uc-u") < bars.total("MCS-u")
+    # MCS under PU: majority of updates are useless
+    mcs_u = bars.bars["MCS-u"]
+    useless = bars.total("MCS-u") - mcs_u["useful"]
+    assert useless > mcs_u["useful"]
+    # CU keeps (drops) the stale-sharer traffic well below PU's
+    assert bars.total("MCS-c") <= bars.total("MCS-u")

@@ -1,0 +1,32 @@
+"""Figure 11: average barrier-episode latency of the three barriers
+under the three protocols, swept over machine sizes."""
+
+from repro.experiments import fig11_barrier_latency
+
+from conftest import run_once
+
+
+def test_fig11_barrier_latency(benchmark, scale, bench_sizes):
+    series = run_once(benchmark, fig11_barrier_latency,
+                      scale=scale, sizes=bench_sizes)
+    print()
+    print(series.render())
+
+    top = max(bench_sizes)
+    if top >= 16:
+        # dissemination under PU/CU beats WI at every size (sec 4.2)
+        for P in [s for s in bench_sizes if s >= 2]:
+            assert series.get("db-u", P) < series.get("db-i", P)
+            assert series.get("db-c", P) < series.get("db-i", P)
+        # ... and is the overall combination of choice at scale
+        best_db = min(series.get("db-u", top), series.get("db-c", top))
+        others = [series.get(f"{k}-{p}", top)
+                  for k in ("cb", "tb") for p in ("i", "u", "c")]
+        others.append(series.get("db-i", top))
+        assert best_db < min(others)
+        # tree barrier: update-based beats WI
+        assert series.get("tb-u", top) < series.get("tb-i", top)
+        # centralized barrier: WI wins only at large machine sizes
+        assert series.get("cb-i", top) < series.get("cb-u", top)
+        small = min(s for s in bench_sizes if s >= 2)
+        assert series.get("cb-u", small) < series.get("cb-i", small)

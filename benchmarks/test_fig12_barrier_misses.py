@@ -1,0 +1,18 @@
+"""Figure 12: miss traffic of the barriers at 32 processors."""
+
+from repro.experiments import fig12_barrier_misses
+
+from conftest import run_once
+
+
+def test_fig12_barrier_misses(benchmark, scale):
+    bars = run_once(benchmark, fig12_barrier_misses, scale=scale)
+    print()
+    print(bars.render())
+
+    # update protocols' barrier misses are negligible next to WI's
+    for kind in ("cb", "db", "tb"):
+        assert bars.total(f"{kind}-u") < bars.total(f"{kind}-i") / 2
+    # WI dissemination misses are flag reloads: true sharing dominates
+    db_i = bars.bars["db-i"]
+    assert db_i["true"] >= db_i["cold"]

@@ -1,0 +1,22 @@
+"""Figure 13: update traffic of the barriers at 32 processors under PU
+and CU."""
+
+from repro.experiments import fig13_barrier_updates
+
+from conftest import run_once
+
+
+def test_fig13_barrier_updates(benchmark, scale):
+    bars = run_once(benchmark, fig13_barrier_updates, scale=scale)
+    print()
+    print(bars.render())
+
+    # the central barrier's traffic is substantial and mostly useless
+    # (counter churn, section 4.2)
+    cb_u = bars.bars["cb-u"]
+    assert (bars.total("cb-u") - cb_u["useful"]) > cb_u["useful"]
+    # dissemination: essentially no useless updates
+    db_u = bars.bars["db-u"]
+    assert db_u["useful"] >= 0.9 * bars.total("db-u")
+    # CU bounds the central barrier's useless traffic via drops
+    assert bars.total("cb-c") < bars.total("cb-u")

@@ -1,0 +1,24 @@
+"""Figure 14: average latency of one whole reduction operation
+(sequential vs parallel) under the three protocols, swept over machine
+sizes.  Synchronization uses the zero-traffic ideal primitives so only
+reduction traffic is measured (paper section 4.3)."""
+
+from repro.experiments import fig14_reduction_latency
+
+from conftest import run_once
+
+
+def test_fig14_reduction_latency(benchmark, scale, bench_sizes):
+    series = run_once(benchmark, fig14_reduction_latency,
+                      scale=scale, sizes=bench_sizes)
+    print()
+    print(series.render())
+
+    top = max(bench_sizes)
+    if top >= 16:
+        # under WI, parallel beats sequential
+        assert series.get("pr-i", top) < series.get("sr-i", top)
+        # under update-based protocols, sequential is the right choice
+        assert series.get("sr-u", top) < series.get("pr-u", top)
+        # update-based sequential beats WI parallel outright
+        assert series.get("sr-u", top) < series.get("pr-i", top)

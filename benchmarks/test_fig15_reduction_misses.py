@@ -1,0 +1,18 @@
+"""Figure 15: miss traffic of the reductions at 32 processors."""
+
+from repro.experiments import fig15_reduction_misses
+
+from conftest import run_once
+
+
+def test_fig15_reduction_misses(benchmark, scale):
+    bars = run_once(benchmark, fig15_reduction_misses, scale=scale)
+    print()
+    print(bars.render())
+
+    # the WI critical paths are miss-bound; update protocols nearly
+    # miss-free (section 4.3)
+    assert bars.total("sr-u") < bars.total("sr-i") / 4
+    assert bars.total("pr-u") < bars.total("pr-i") / 4
+    # sequential under WI touches max AND every local_max slot
+    assert bars.total("sr-i") > bars.total("pr-i") / 2

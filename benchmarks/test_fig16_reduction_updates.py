@@ -1,0 +1,23 @@
+"""Figure 16: update traffic of the reductions at 32 processors under
+PU and CU."""
+
+from repro.experiments import fig16_reduction_updates
+
+from conftest import run_once
+
+
+def test_fig16_reduction_updates(benchmark, scale):
+    bars = run_once(benchmark, fig16_reduction_updates, scale=scale)
+    print()
+    print(bars.render())
+
+    # reductions show a large fraction of useful updates (section 4.3)
+    for combo in ("sr-u", "pr-u"):
+        b = bars.bars[combo]
+        assert b["useful"] >= 0.3 * bars.total(combo), combo
+    # the sequential reduction's slot updates are consumed by the
+    # master every episode: its useful fraction tops the parallel one's
+    sr = bars.bars["sr-u"]
+    pr = bars.bars["pr-u"]
+    assert (sr["useful"] / bars.total("sr-u")
+            >= pr["useful"] / bars.total("pr-u"))

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Barrier scaling study: which barrier, on which protocol, at what size?
+
+Regenerates the engineering guidance of paper section 4.2 as a scaling
+table: the centralized barrier is fine for small machines, but
+dissemination under an update-based protocol wins everywhere -- and its
+advantage *grows* with machine size because its update traffic is all
+useful.
+
+Run:  python examples/barrier_scaling.py  [--fast]
+"""
+
+import sys
+
+from repro.config import ALL_PROTOCOLS, MachineConfig
+from repro.metrics import Series
+from repro.workloads import run_barrier_workload
+
+FAST = "--fast" in sys.argv
+SIZES = (2, 8, 16) if FAST else (2, 4, 8, 16, 32)
+EPISODES = 30 if FAST else 120
+
+
+def main():
+    series = Series(
+        title="Barrier episode latency vs machine size",
+        xlabel="procs", ylabel="cycles / episode")
+    useful_frac = {}
+    for kind in ("cb", "db", "tb"):
+        for proto in ALL_PROTOCOLS:
+            label = f"{kind}-{proto.short}"
+            for P in SIZES:
+                cfg = MachineConfig(num_procs=P, protocol=proto)
+                res = run_barrier_workload(cfg, kind, episodes=EPISODES)
+                series.add(label, P, res.avg_latency)
+                if P == max(SIZES) and proto.is_update_based:
+                    u = res.result.updates
+                    if u["total"]:
+                        useful_frac[label] = u["useful"] / u["total"]
+
+    print(series.render())
+    print()
+    print(f"Useful fraction of update traffic at {max(SIZES)} procs:")
+    for label, frac in sorted(useful_frac.items()):
+        bar = "#" * int(frac * 40)
+        print(f"  {label:>6} {frac:6.1%} |{bar}")
+    print()
+    top = max(SIZES)
+    db_u = series.get("db-u", top)
+    cb_i = series.get("cb-i", top)
+    print(f"At {top} processors, dissemination+PU runs a barrier in "
+          f"{db_u:,.0f} cycles -- {cb_i / db_u:.1f}x faster than the "
+          f"centralized barrier under write-invalidate.")
+
+
+if __name__ == "__main__":
+    main()

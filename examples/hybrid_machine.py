@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Per-block protocol selection on a FLASH/Typhoon-style machine.
+
+The paper's motivation is hardware that "can support multiple coherence
+protocols within the same application".  This example builds a HYBRID
+machine, tags each data structure of a small application with the
+protocol that suits its sharing pattern, and compares against the three
+fixed-protocol machines:
+
+* per-processor stream buffers (produced whole, consumed whole by one
+  neighbour)  -> write invalidate: one block fetch moves 16 words;
+* the work-distribution ticket lock (hot, word-grained)  -> competitive
+  update: spinners are refreshed in place, stale sharers get dropped;
+* the progress flags (single writer, many spinning readers) -> pure
+  update.
+
+Run:  python examples/hybrid_machine.py
+"""
+
+from repro.config import MachineConfig, Protocol
+from repro.isa.ops import Compute, Fence, Read, Write
+from repro.metrics import compare_runs, render_traffic_matrix
+from repro.runtime import Machine
+from repro.sync import IdealBarrier, TicketLock
+
+P = 8
+EPISODES = 12
+WORDS = 16
+
+
+def build_and_run(protocol: Protocol):
+    machine = Machine(MachineConfig(num_procs=P, protocol=protocol),
+                      max_events=20_000_000)
+    mm = machine.memmap
+
+    if protocol is Protocol.HYBRID:
+        # stream buffers under WI (the hybrid default here)
+        stream = [mm.alloc_words(i, WORDS, f"out{i}") for i in range(P)]
+        with mm.use_protocol(Protocol.CU):
+            lock = TicketLock(machine)
+        with mm.use_protocol(Protocol.PU):
+            progress = mm.alloc_word(0, "progress")
+    else:
+        stream = [mm.alloc_words(i, WORDS, f"out{i}") for i in range(P)]
+        lock = TicketLock(machine)
+        progress = mm.alloc_word(0, "progress")
+
+    barrier = IdealBarrier(machine)
+
+    def program(node):
+        left = (node - 1) % P
+        for ep in range(EPISODES):
+            # produce a block of output
+            for i, addr in enumerate(stream[node]):
+                yield Write(addr, ep * 1000 + node * 100 + i)
+            yield Fence()
+            yield from barrier.wait(node)
+            # consume the left neighbour's block
+            total = 0
+            for addr in stream[left]:
+                total += yield Read(addr)
+            # grab a work token under the hot lock
+            token = yield from lock.acquire(node)
+            yield Compute(25)
+            yield from lock.release(node, token)
+            # node 0 publishes progress; everyone glances at it
+            if node == 0:
+                yield Write(progress, ep + 1)
+                yield Fence()
+            else:
+                yield Read(progress)
+            yield from barrier.wait(node)
+
+    machine.spawn_all(program)
+    return machine, machine.run()
+
+
+def main():
+    runs = {}
+    machines = {}
+    for protocol in (Protocol.WI, Protocol.PU, Protocol.CU,
+                     Protocol.HYBRID):
+        machines[protocol.value], runs[protocol.value] = \
+            build_and_run(protocol)
+
+    print(compare_runs(runs, title=f"Mixed workload, {P} processors, "
+                                   f"{EPISODES} episodes"))
+    print()
+    best = min(runs, key=lambda k: runs[k].total_cycles)
+    print(f"Winner: {best}")
+    if best == "hybrid":
+        print("The per-block assignment (stream=WI, lock=CU, "
+              "flags=PU) beats every fixed protocol -- the paper's")
+        print("conclusion: protocol AND implementation per construct.")
+    print()
+    print(render_traffic_matrix(runs["hybrid"], P))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Protocol-conscious construct selection, automated.
+
+Machines with programmable protocol processors (FLASH, Typhoon) can run
+different coherence protocols for different data.  This example is a
+small "advisor": it profiles each synchronization construct of an
+application mix under every protocol x implementation combination and
+emits a recommendation table -- the workflow the paper's conclusion
+advocates ("both the protocol and implementation should be taken into
+account").
+
+Run:  python examples/protocol_advisor.py  [--procs N]
+"""
+
+import sys
+
+from repro.config import ALL_PROTOCOLS, MachineConfig
+from repro.metrics import format_table
+from repro.workloads import (
+    run_barrier_workload, run_lock_workload, run_reduction_workload,
+)
+
+
+def get_procs() -> int:
+    if "--procs" in sys.argv:
+        return int(sys.argv[sys.argv.index("--procs") + 1])
+    return 16
+
+
+def profile(P):
+    """Measure every construct/implementation/protocol combination."""
+    results = {}
+    for kind in ("tk", "MCS", "uc"):
+        for proto in ALL_PROTOCOLS:
+            res = run_lock_workload(
+                MachineConfig(num_procs=P, protocol=proto), kind,
+                total_acquires=40 * P)
+            results[("lock", kind, proto)] = res.avg_latency
+    for kind in ("cb", "db", "tb"):
+        for proto in ALL_PROTOCOLS:
+            res = run_barrier_workload(
+                MachineConfig(num_procs=P, protocol=proto), kind,
+                episodes=60)
+            results[("barrier", kind, proto)] = res.avg_latency
+    for kind in ("sr", "pr"):
+        for proto in ALL_PROTOCOLS:
+            res = run_reduction_workload(
+                MachineConfig(num_procs=P, protocol=proto), kind,
+                iterations=60)
+            results[("reduction", kind, proto)] = res.avg_latency
+    return results
+
+
+def main():
+    P = get_procs()
+    print(f"Profiling constructs on a {P}-processor machine "
+          f"(this simulates {3 * 3 + 3 * 3 + 2 * 3} configurations)...")
+    results = profile(P)
+
+    rows = []
+    for (construct, kind, proto), lat in sorted(
+            results.items(), key=lambda kv: (kv[0][0], kv[0][1],
+                                             kv[0][2].value)):
+        rows.append([construct, kind, proto.value, lat])
+    print()
+    print(format_table(["construct", "impl", "protocol", "latency"],
+                       rows, title="Full profile"))
+
+    print()
+    print("Recommendations:")
+    for construct in ("lock", "barrier", "reduction"):
+        combos = {(k, p): v for (c, k, p), v in results.items()
+                  if c == construct}
+        (kind, proto), lat = min(combos.items(), key=lambda kv: kv[1])
+        # best fixed-protocol alternative if the machine cannot switch
+        per_proto = {}
+        for (k, p), v in combos.items():
+            if v < per_proto.get(p, (None, float("inf")))[1]:
+                per_proto[p] = (k, v)
+        worst_fixed = max(v for _, v in per_proto.values())
+        print(f"  {construct:>10}: use {kind}-{proto.value} "
+              f"({lat:,.0f} cycles); a protocol-blind choice can cost "
+              f"{worst_fixed / lat:.1f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Quickstart: build a machine, run threads, inspect the traffic.
+
+Simulates a 8-node DASH-like multiprocessor under each coherence
+protocol running a tiny producer/consumers program, and prints the
+cycle count plus the classified communication traffic -- the paper's
+two lenses on every experiment.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    ALL_PROTOCOLS, Compute, Fence, MachineConfig, Machine, Read,
+    SpinUntil, Write,
+)
+
+
+def producer(machine, data, flag, n_items):
+    """Writes a batch of values, then raises the flag."""
+    def prog():
+        for i, addr in enumerate(data):
+            yield Write(addr, 100 + i)
+            yield Compute(10)           # "produce" the next item
+        yield Fence()                   # writes globally performed
+        yield Write(flag, 1)
+        yield Fence()
+    return prog()
+
+
+def consumer(machine, data, flag, node):
+    """Waits for the flag, then reads the whole batch."""
+    def prog():
+        yield SpinUntil(flag, lambda v: v == 1)
+        total = 0
+        for addr in data:
+            v = yield Read(addr)
+            total += v
+        expected = sum(100 + i for i in range(len(data)))
+        assert total == expected, f"consumer {node} saw {total}"
+    return prog()
+
+
+def main():
+    print(f"{'protocol':>10} {'cycles':>8} {'misses':>7} "
+          f"{'useful':>7} {'updates':>8} {'useful':>7} {'msgs':>6}")
+    for protocol in ALL_PROTOCOLS:
+        cfg = MachineConfig(num_procs=8, protocol=protocol)
+        machine = Machine(cfg)
+
+        # shared data: one block's worth of items homed at the producer,
+        # one flag
+        data = [machine.memmap.alloc_word(0, pack=True, label=f"item{i}")
+                for i in range(8)]
+        flag = machine.memmap.alloc_word(0, label="flag")
+
+        machine.spawn(0, producer(machine, data, flag, 8))
+        for node in range(1, 8):
+            machine.spawn(node, consumer(machine, data, flag, node))
+
+        result = machine.run()
+        machine.check_coherence_invariants()
+
+        m = result.misses
+        u = result.updates
+        miss_useful = m["cold"] + m["true"]
+        print(f"{protocol.value:>10} {result.total_cycles:>8} "
+              f"{m['total']:>7} {miss_useful:>7} "
+              f"{u['total']:>8} {u['useful']:>7} "
+              f"{result.network.messages:>6}")
+
+    print()
+    print("Things to notice:")
+    print(" * WI has no update messages; all its traffic is misses.")
+    print(" * PU/CU consumers hit in their caches once the flag flips --")
+    print("   the producer's writes arrived as updates.")
+    print(" * the packed data block makes WI consumers fetch one block")
+    print("   (spatial locality), while update protocols pushed each")
+    print("   word as it was written.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Communication-traffic classification (subsystems S11, S12).
+
+Implements the miss-categorization algorithm of Dubois et al. as
+extended by Bianchini & Kontothanassis, and the update-categorization
+algorithm of Bianchini & Kontothanassis, exactly as used in the paper's
+figures 9/10, 12/13 and 15/16.
+"""
+
+from repro.classify.misses import MissClassifier, MissClass
+from repro.classify.updates import UpdateClassifier, UpdateClass
+
+__all__ = ["MissClassifier", "MissClass", "UpdateClassifier", "UpdateClass"]

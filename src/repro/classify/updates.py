@@ -1,0 +1,156 @@
+"""Update-message classification.
+
+Implements the algorithm of Bianchini & Kontothanassis (paper section
+3.2): every update message delivered to a sharer's cache opens a record
+that is classified *at the end of the update's lifetime* -- when it is
+overwritten by another update to the same word, when the block holding
+it is replaced, or when the program ends.
+
+Categories:
+
+* **useful (true sharing)** -- the receiver references the updated word
+  before it is overwritten;
+* **false sharing** -- not referenced before overwrite, but the receiver
+  actively references *other* words of the block during the update's
+  lifetime;
+* **proliferation** -- not referenced before overwrite, with no
+  concurrent activity on the block (successive useless updates to the
+  same word are proliferation, not false sharing -- the paper's
+  refinement);
+* **replacement** -- the word is unreferenced until the block leaves the
+  receiver's cache;
+* **termination** -- a proliferation update still live at program end;
+* **drop** -- the update whose arrival pushes the competitive-update
+  counter to its threshold and invalidates the block.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Tuple
+
+
+class UpdateClass(enum.Enum):
+    USEFUL = "useful"
+    FALSE_SHARING = "false"
+    PROLIFERATION = "proliferation"
+    REPLACEMENT = "replacement"
+    TERMINATION = "termination"
+    DROP = "drop"
+
+    @property
+    def useful(self) -> bool:
+        return self is UpdateClass.USEFUL
+
+
+class _Record:
+    __slots__ = ("referenced", "other_ref")
+
+    def __init__(self) -> None:
+        #: receiver referenced the updated word during the lifetime
+        self.referenced = False
+        #: receiver referenced some other word of the block concurrently
+        self.other_ref = False
+
+
+class UpdateClassifier:
+    """Online classifier; one instance per simulated machine."""
+
+    def __init__(self) -> None:
+        self.counts: Dict[UpdateClass, int] = {c: 0 for c in UpdateClass}
+        #: (node, block) -> {word -> open record}
+        self._open: Dict[Tuple[int, int], Dict[int, _Record]] = {}
+        #: update messages delivered to nodes that no longer cache the
+        #: block (race with a drop/flush) -- pure waste
+        self.stale_deliveries = 0
+
+    # ------------------------------------------------------------------
+    # feed
+    # ------------------------------------------------------------------
+
+    def record_update(self, node: int, block: int, word: int) -> None:
+        """An update message was applied to ``node``'s cached copy."""
+        recs = self._open.setdefault((node, block), {})
+        old = recs.get(word)
+        if old is not None:
+            self._close_overwritten(old)
+        recs[word] = _Record()
+
+    def record_drop_update(self, node: int, block: int, word: int) -> None:
+        """The update that triggered a CU self-invalidation at ``node``.
+
+        The triggering message itself is a *drop* update; all still-open
+        records for the block end their lifetimes with the invalidation.
+        """
+        self.counts[UpdateClass.DROP] += 1
+        self.record_block_gone(node, block)
+
+    def record_stale_update(self, node: int, block: int) -> None:
+        """Update delivered to a node that no longer caches the block."""
+        self.stale_deliveries += 1
+        self.counts[UpdateClass.PROLIFERATION] += 1
+
+    def record_reference(self, node: int, block: int, word: int) -> None:
+        """A local reference by ``node`` to ``word`` of ``block``."""
+        recs = self._open.get((node, block))
+        if not recs:
+            return
+        for w, rec in recs.items():
+            if w == word:
+                rec.referenced = True
+            else:
+                rec.other_ref = True
+
+    def record_block_gone(self, node: int, block: int) -> None:
+        """``block`` left ``node``'s cache (replacement / flush / inval).
+
+        Still-open records close: referenced ones were useful; the rest
+        are replacement updates.
+        """
+        recs = self._open.pop((node, block), None)
+        if not recs:
+            return
+        for rec in recs.values():
+            if rec.referenced:
+                self.counts[UpdateClass.USEFUL] += 1
+            else:
+                self.counts[UpdateClass.REPLACEMENT] += 1
+
+    # ------------------------------------------------------------------
+
+    def _close_overwritten(self, rec: _Record) -> None:
+        if rec.referenced:
+            self.counts[UpdateClass.USEFUL] += 1
+        elif rec.other_ref:
+            self.counts[UpdateClass.FALSE_SHARING] += 1
+        else:
+            self.counts[UpdateClass.PROLIFERATION] += 1
+
+    def finalize(self) -> None:
+        """End of program: close every open record."""
+        for recs in self._open.values():
+            for rec in recs.values():
+                if rec.referenced:
+                    self.counts[UpdateClass.USEFUL] += 1
+                else:
+                    self.counts[UpdateClass.TERMINATION] += 1
+        self._open.clear()
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+
+    @property
+    def total_updates(self) -> int:
+        return sum(self.counts.values())
+
+    def useful_updates(self) -> int:
+        return self.counts[UpdateClass.USEFUL]
+
+    def useless_updates(self) -> int:
+        return self.total_updates - self.useful_updates()
+
+    def as_dict(self) -> Dict[str, int]:
+        out = {c.value: n for c, n in self.counts.items()}
+        out["total"] = self.total_updates
+        return out

@@ -1,0 +1,12 @@
+"""Discrete-event simulation kernel (subsystem S1)."""
+
+from repro.engine.simulator import Simulator, SimulationError, DeadlockError
+from repro.engine.trace import Tracer, NullTracer
+
+__all__ = [
+    "Simulator",
+    "SimulationError",
+    "DeadlockError",
+    "Tracer",
+    "NullTracer",
+]

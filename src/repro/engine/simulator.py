@@ -1,0 +1,135 @@
+"""The discrete-event simulation core.
+
+The simulator keeps a single global event queue ordered by (time, seq).
+``seq`` is a monotonically increasing tie-breaker, which makes runs fully
+deterministic: events scheduled for the same cycle fire in the order they
+were scheduled.
+
+Components never advance time themselves; they schedule callbacks with
+:meth:`Simulator.schedule` (relative delay) or :meth:`Simulator.at`
+(absolute time).  This is the hot loop of the whole package, so the
+implementation stays deliberately small: events are plain tuples on a
+``heapq`` and callbacks are invoked with pre-bound arguments.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class SimulationError(RuntimeError):
+    """Base class for simulation failures."""
+
+
+class DeadlockError(SimulationError):
+    """Raised when the event queue drains while threads are still blocked."""
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    >>> sim = Simulator()
+    >>> hits = []
+    >>> sim.schedule(5, hits.append, "a")
+    >>> sim.schedule(3, hits.append, "b")
+    >>> sim.run()
+    >>> hits
+    ['b', 'a']
+    >>> sim.now
+    5
+    """
+
+    __slots__ = ("now", "_queue", "_seq", "_running", "_stopped",
+                 "_max_events", "events_processed")
+
+    def __init__(self, max_events: Optional[int] = None) -> None:
+        self.now: int = 0
+        self._queue: List[Tuple[int, int, Callable[..., Any], tuple]] = []
+        self._seq: int = 0
+        self._running = False
+        self._stopped = False
+        #: safety valve against runaway simulations (None = unbounded)
+        self._max_events = max_events
+        self.events_processed: int = 0
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+
+    def schedule(self, delay: int, fn: Callable[..., Any], *args: Any) -> None:
+        """Schedule ``fn(*args)`` to run ``delay`` cycles from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self._seq += 1
+        heapq.heappush(self._queue, (self.now + delay, self._seq, fn, args))
+
+    def at(self, when: int, fn: Callable[..., Any], *args: Any) -> None:
+        """Schedule ``fn(*args)`` at absolute time ``when`` (>= now)."""
+        if when < self.now:
+            raise SimulationError(
+                f"cannot schedule in the past ({when} < {self.now})")
+        self._seq += 1
+        heapq.heappush(self._queue, (when, self._seq, fn, args))
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def run(self, until: Optional[int] = None) -> None:
+        """Drain the event queue, optionally stopping at time ``until``.
+
+        Returns when the queue is empty or ``until`` is reached.  The
+        clock is left at the time of the last processed event (or at
+        ``until`` if given and reached).
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        self._stopped = False
+        queue = self._queue
+        pop = heapq.heappop
+        try:
+            while queue and not self._stopped:
+                when, _seq, fn, args = pop(queue)
+                if until is not None and when > until:
+                    # put it back; we peeked past the horizon
+                    heapq.heappush(queue, (when, _seq, fn, args))
+                    self.now = until
+                    return
+                self.now = when
+                self.events_processed += 1
+                if (self._max_events is not None
+                        and self.events_processed > self._max_events):
+                    raise SimulationError(
+                        f"exceeded max_events={self._max_events}; "
+                        "likely livelock")
+                fn(*args)
+        finally:
+            self._running = False
+
+    def stop(self) -> None:
+        """Stop the run loop after the current event."""
+        self._stopped = True
+
+    def step(self) -> bool:
+        """Process a single event.  Returns False if the queue is empty."""
+        if not self._queue:
+            return False
+        when, _seq, fn, args = heapq.heappop(self._queue)
+        self.now = when
+        self.events_processed += 1
+        fn(*args)
+        return True
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)
+
+    def peek_time(self) -> Optional[int]:
+        """Time of the next event, or None if the queue is empty."""
+        return self._queue[0][0] if self._queue else None

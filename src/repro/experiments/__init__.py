@@ -1,0 +1,26 @@
+"""Experiment harness (subsystem S16): regenerates every figure of the
+paper's evaluation section.
+
+Each ``fig*`` function returns the figure's dataset (a
+:class:`~repro.metrics.tables.Series` for the latency figures, a
+:class:`~repro.metrics.tables.StackedBars` for the traffic figures)
+plus raw per-run results; ``render`` turns it into the text tables the
+benchmarks print.  The CLI (``python -m repro.experiments``) runs any
+subset.
+"""
+
+from repro.experiments.figures import (
+    fig8_lock_latency, fig9_lock_misses, fig10_lock_updates,
+    fig11_barrier_latency, fig12_barrier_misses, fig13_barrier_updates,
+    fig14_reduction_latency, fig15_reduction_misses,
+    fig16_reduction_updates, FIGURES, MISS_CATEGORIES, UPDATE_CATEGORIES,
+    combo_label,
+)
+
+__all__ = [
+    "fig8_lock_latency", "fig9_lock_misses", "fig10_lock_updates",
+    "fig11_barrier_latency", "fig12_barrier_misses",
+    "fig13_barrier_updates", "fig14_reduction_latency",
+    "fig15_reduction_misses", "fig16_reduction_updates", "FIGURES",
+    "MISS_CATEGORIES", "UPDATE_CATEGORIES", "combo_label",
+]

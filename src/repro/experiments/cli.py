@@ -1,0 +1,100 @@
+"""Command-line entry point: ``python -m repro.experiments fig8 ...``.
+
+Regenerates any subset of the paper's figures as text tables.  Default
+scale is 10% of the paper's iteration counts (the latency metrics are
+per-iteration averages, so the series keep their shape); pass
+``--paper-scale`` for the full counts or ``--scale 0.02`` for quick
+looks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List
+
+from repro.config import ExperimentScale, PAPER_MACHINE_SIZES
+from repro.experiments.figures import FIGURES
+
+
+def _parse_sizes(text: str) -> tuple:
+    sizes = tuple(int(s) for s in text.split(","))
+    for s in sizes:
+        if s < 1:
+            raise argparse.ArgumentTypeError(f"bad machine size {s}")
+    return sizes
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the figures of Bianchini et al., "
+                    "PPoPP 1997.")
+    p.add_argument("figures", nargs="*", default=["all"],
+                   help="figure ids (fig8..fig16) or 'all'")
+    p.add_argument("--scale", type=float, default=0.1,
+                   help="fraction of the paper's iteration counts "
+                        "(default 0.1)")
+    p.add_argument("--paper-scale", action="store_true",
+                   help="use the paper's full iteration counts")
+    p.add_argument("--sizes", type=_parse_sizes,
+                   default=PAPER_MACHINE_SIZES,
+                   help="comma-separated machine sizes for the latency "
+                        "figures (default 1,2,4,8,16,32)")
+    p.add_argument("--procs", type=int, default=32,
+                   help="machine size for the traffic figures "
+                        "(default 32)")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress progress lines")
+    p.add_argument("--svg", metavar="DIR", default=None,
+                   help="also write each figure as DIR/figN.svg")
+    return p
+
+
+def main(argv: List[str] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    wanted = args.figures
+    if not wanted or "all" in wanted:
+        wanted = list(FIGURES)
+    unknown = [f for f in wanted if f not in FIGURES]
+    if unknown:
+        print(f"unknown figure(s): {', '.join(unknown)}; "
+              f"choose from {', '.join(FIGURES)}", file=sys.stderr)
+        return 2
+
+    scale = (ExperimentScale.paper() if args.paper_scale
+             else ExperimentScale.scaled(args.scale))
+    progress = None
+    if not args.quiet:
+        def progress(msg: str) -> None:
+            print(f"  ... {msg}", file=sys.stderr, flush=True)
+
+    for fig in wanted:
+        runner = FIGURES[fig]
+        t0 = time.time()
+        if fig in ("fig8", "fig11", "fig14"):
+            data = runner(scale=scale, sizes=args.sizes,
+                          progress=progress)
+        else:
+            data = runner(scale=scale, P=args.procs, progress=progress)
+        print()
+        print(data.render())
+        if args.svg:
+            import os
+            from repro.metrics.svgchart import to_svg
+            os.makedirs(args.svg, exist_ok=True)
+            path = os.path.join(args.svg, f"{fig}.svg")
+            with open(path, "w") as fh:
+                fh.write(to_svg(data))
+            print(f"  [wrote {path}]", file=sys.stderr)
+        if not args.quiet:
+            print(f"  [{fig} took {time.time() - t0:.1f}s at scale "
+                  f"{'paper' if args.paper_scale else args.scale}]",
+                  file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

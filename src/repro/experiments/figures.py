@@ -1,0 +1,266 @@
+"""Per-figure experiment runners.
+
+Figure -> experiment mapping (paper section 4):
+
+* Fig 8  -- lock acquire/release latency vs P, tk/MCS/uc x i/u/c
+* Fig 9  -- lock miss traffic at 32p, stacked by category
+* Fig 10 -- lock update traffic at 32p (PU/CU), stacked by category
+* Fig 11 -- barrier episode latency vs P, cb/db/tb x i/u/c
+* Fig 12 -- barrier miss traffic at 32p
+* Fig 13 -- barrier update traffic at 32p
+* Fig 14 -- reduction latency vs P, sr/pr x i/u/c (ideal sync)
+* Fig 15 -- reduction miss traffic at 32p
+* Fig 16 -- reduction update traffic at 32p
+
+All latency figures sweep the paper's machine sizes (1..32); traffic
+figures run the 32-processor point.  ``scale`` uniformly shrinks the
+iteration counts (latencies are per-iteration averages, so the series
+keep their shape; traffic counts scale linearly and the *distribution*
+across categories is what the paper's bar charts show).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.config import (
+    ALL_PROTOCOLS, MachineConfig, PAPER_MACHINE_SIZES, Protocol,
+    ExperimentScale,
+)
+from repro.metrics.tables import Series, StackedBars
+from repro.sync.barriers import BARRIER_KINDS
+from repro.sync.locks import LOCK_KINDS
+from repro.sync.reductions import REDUCTION_KINDS
+from repro.workloads import (
+    run_barrier_workload, run_lock_workload, run_reduction_workload,
+)
+
+#: categories of the miss bar charts (figures 9, 12, 15), in the
+#: paper's stacking order; "upgrade" is the exclusive-request class
+MISS_CATEGORIES = ["cold", "true", "false", "eviction", "drop", "upgrade"]
+
+#: categories of the update bar charts (figures 10, 13, 16); the
+#: replacement class is included even though (as in the paper) it is
+#: essentially never observed
+UPDATE_CATEGORIES = ["useful", "false", "proliferation", "replacement",
+                     "termination", "drop"]
+
+UPDATE_PROTOCOLS = (Protocol.PU, Protocol.CU)
+
+
+def combo_label(alg: str, protocol: Protocol) -> str:
+    """The paper's bar labels: e.g. 'tk-i', 'MCS-u', 'db-c'."""
+    return f"{alg}-{protocol.short}"
+
+
+def _miss_counts(result) -> Dict[str, int]:
+    counts = dict(result.misses)
+    counts["upgrade"] = counts.pop("exclusive_requests", 0)
+    return counts
+
+
+# ----------------------------------------------------------------------
+# locks (figures 8, 9, 10)
+# ----------------------------------------------------------------------
+
+def _lock_run(protocol: Protocol, kind: str, P: int,
+              scale: ExperimentScale, **kw):
+    cfg = MachineConfig(num_procs=P, protocol=protocol)
+    return run_lock_workload(cfg, kind,
+                             total_acquires=scale.lock_total_acquires,
+                             **kw)
+
+
+def fig8_lock_latency(scale: ExperimentScale = ExperimentScale.paper(),
+                      sizes: Tuple[int, ...] = PAPER_MACHINE_SIZES,
+                      progress: Optional[Callable[[str], None]] = None,
+                      **kw) -> Series:
+    series = Series(
+        title="Figure 8: performance of spin locks in synthetic program",
+        xlabel="procs",
+        ylabel="avg acquire-release latency (cycles)")
+    for kind in LOCK_KINDS:
+        for proto in ALL_PROTOCOLS:
+            label = combo_label(kind, proto)
+            for P in sizes:
+                if progress:
+                    progress(f"fig8 {label} P={P}")
+                res = _lock_run(proto, kind, P, scale, **kw)
+                series.add(label, P, res.avg_latency)
+    return series
+
+
+def fig9_lock_misses(scale: ExperimentScale = ExperimentScale.paper(),
+                     P: int = 32,
+                     progress: Optional[Callable[[str], None]] = None,
+                     **kw) -> StackedBars:
+    bars = StackedBars(
+        title=f"Figure 9: miss traffic of spin locks ({P} processors)",
+        categories=MISS_CATEGORIES)
+    for kind in LOCK_KINDS:
+        for proto in ALL_PROTOCOLS:
+            label = combo_label(kind, proto)
+            if progress:
+                progress(f"fig9 {label}")
+            res = _lock_run(proto, kind, P, scale, **kw)
+            bars.add(label, _miss_counts(res.result))
+    return bars
+
+
+def fig10_lock_updates(scale: ExperimentScale = ExperimentScale.paper(),
+                       P: int = 32,
+                       progress: Optional[Callable[[str], None]] = None,
+                       **kw) -> StackedBars:
+    bars = StackedBars(
+        title=f"Figure 10: update traffic of spin locks ({P} processors)",
+        categories=UPDATE_CATEGORIES)
+    for kind in LOCK_KINDS:
+        for proto in UPDATE_PROTOCOLS:
+            label = combo_label(kind, proto)
+            if progress:
+                progress(f"fig10 {label}")
+            res = _lock_run(proto, kind, P, scale, **kw)
+            bars.add(label, dict(res.result.updates))
+    return bars
+
+
+# ----------------------------------------------------------------------
+# barriers (figures 11, 12, 13)
+# ----------------------------------------------------------------------
+
+def _barrier_run(protocol: Protocol, kind: str, P: int,
+                 scale: ExperimentScale, **kw):
+    cfg = MachineConfig(num_procs=P, protocol=protocol)
+    return run_barrier_workload(cfg, kind,
+                                episodes=scale.barrier_episodes, **kw)
+
+
+def fig11_barrier_latency(scale: ExperimentScale = ExperimentScale.paper(),
+                          sizes: Tuple[int, ...] = PAPER_MACHINE_SIZES,
+                          progress: Optional[Callable[[str], None]] = None,
+                          **kw) -> Series:
+    series = Series(
+        title="Figure 11: performance of barriers in synthetic program",
+        xlabel="procs",
+        ylabel="avg barrier episode latency (cycles)")
+    for kind in BARRIER_KINDS:
+        for proto in ALL_PROTOCOLS:
+            label = combo_label(kind, proto)
+            for P in sizes:
+                if progress:
+                    progress(f"fig11 {label} P={P}")
+                res = _barrier_run(proto, kind, P, scale, **kw)
+                series.add(label, P, res.avg_latency)
+    return series
+
+
+def fig12_barrier_misses(scale: ExperimentScale = ExperimentScale.paper(),
+                         P: int = 32,
+                         progress: Optional[Callable[[str], None]] = None,
+                         **kw) -> StackedBars:
+    bars = StackedBars(
+        title=f"Figure 12: miss traffic of barriers ({P} processors)",
+        categories=MISS_CATEGORIES)
+    for kind in BARRIER_KINDS:
+        for proto in ALL_PROTOCOLS:
+            label = combo_label(kind, proto)
+            if progress:
+                progress(f"fig12 {label}")
+            res = _barrier_run(proto, kind, P, scale, **kw)
+            bars.add(label, _miss_counts(res.result))
+    return bars
+
+
+def fig13_barrier_updates(scale: ExperimentScale = ExperimentScale.paper(),
+                          P: int = 32,
+                          progress: Optional[Callable[[str], None]] = None,
+                          **kw) -> StackedBars:
+    bars = StackedBars(
+        title=f"Figure 13: update traffic of barriers ({P} processors)",
+        categories=UPDATE_CATEGORIES)
+    for kind in BARRIER_KINDS:
+        for proto in UPDATE_PROTOCOLS:
+            label = combo_label(kind, proto)
+            if progress:
+                progress(f"fig13 {label}")
+            res = _barrier_run(proto, kind, P, scale, **kw)
+            bars.add(label, dict(res.result.updates))
+    return bars
+
+
+# ----------------------------------------------------------------------
+# reductions (figures 14, 15, 16)
+# ----------------------------------------------------------------------
+
+def _reduction_run(protocol: Protocol, kind: str, P: int,
+                   scale: ExperimentScale, **kw):
+    cfg = MachineConfig(num_procs=P, protocol=protocol)
+    return run_reduction_workload(cfg, kind,
+                                  iterations=scale.reduction_iters, **kw)
+
+
+def fig14_reduction_latency(scale: ExperimentScale = ExperimentScale.paper(),
+                            sizes: Tuple[int, ...] = PAPER_MACHINE_SIZES,
+                            progress: Optional[Callable[[str], None]] = None,
+                            **kw) -> Series:
+    series = Series(
+        title="Figure 14: performance of reductions in synthetic program",
+        xlabel="procs",
+        ylabel="avg reduction latency (cycles)")
+    for kind in REDUCTION_KINDS:
+        for proto in ALL_PROTOCOLS:
+            label = combo_label(kind, proto)
+            for P in sizes:
+                if progress:
+                    progress(f"fig14 {label} P={P}")
+                res = _reduction_run(proto, kind, P, scale, **kw)
+                series.add(label, P, res.avg_latency)
+    return series
+
+
+def fig15_reduction_misses(scale: ExperimentScale = ExperimentScale.paper(),
+                           P: int = 32,
+                           progress: Optional[Callable[[str], None]] = None,
+                           **kw) -> StackedBars:
+    bars = StackedBars(
+        title=f"Figure 15: miss traffic of reductions ({P} processors)",
+        categories=MISS_CATEGORIES)
+    for kind in REDUCTION_KINDS:
+        for proto in ALL_PROTOCOLS:
+            label = combo_label(kind, proto)
+            if progress:
+                progress(f"fig15 {label}")
+            res = _reduction_run(proto, kind, P, scale, **kw)
+            bars.add(label, _miss_counts(res.result))
+    return bars
+
+
+def fig16_reduction_updates(scale: ExperimentScale = ExperimentScale.paper(),
+                            P: int = 32,
+                            progress: Optional[Callable[[str], None]] = None,
+                            **kw) -> StackedBars:
+    bars = StackedBars(
+        title=f"Figure 16: update traffic of reductions ({P} processors)",
+        categories=UPDATE_CATEGORIES)
+    for kind in REDUCTION_KINDS:
+        for proto in UPDATE_PROTOCOLS:
+            label = combo_label(kind, proto)
+            if progress:
+                progress(f"fig16 {label}")
+            res = _reduction_run(proto, kind, P, scale, **kw)
+            bars.add(label, dict(res.result.updates))
+    return bars
+
+
+#: figure id -> (runner, kind) for the CLI
+FIGURES: Dict[str, Callable] = {
+    "fig8": fig8_lock_latency,
+    "fig9": fig9_lock_misses,
+    "fig10": fig10_lock_updates,
+    "fig11": fig11_barrier_latency,
+    "fig12": fig12_barrier_misses,
+    "fig13": fig13_barrier_updates,
+    "fig14": fig14_reduction_latency,
+    "fig15": fig15_reduction_misses,
+    "fig16": fig16_reduction_updates,
+}

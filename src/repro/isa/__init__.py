@@ -1,0 +1,22 @@
+"""Operation vocabulary of the execution-driven front-end (subsystem S2).
+
+Simulated threads are Python generators that ``yield`` operations from
+this module; the :class:`~repro.runtime.processor.Processor` executes
+each operation against the node's cache controller and resumes the
+generator with the result.  This replaces the paper's MINT MIPS
+interpreter: the constructs' communication behaviour is fully determined
+by their shared-reference streams, which the pseudo-code in the paper
+maps onto one-for-one.
+"""
+
+from repro.isa.ops import (
+    Op, Read, Write, Compute, FetchAdd, FetchStore, CompareSwap,
+    Flush, FlushCache, Fence, SpinUntil, CallHook, Fork, Join,
+    fetch_and_decrement,
+)
+
+__all__ = [
+    "Op", "Read", "Write", "Compute", "FetchAdd", "FetchStore",
+    "CompareSwap", "Flush", "FlushCache", "Fence", "SpinUntil",
+    "CallHook", "Fork", "Join", "fetch_and_decrement",
+]

@@ -1,0 +1,269 @@
+"""Operations a simulated thread may yield.
+
+Timing semantics (paper section 3.1):
+
+* :class:`Compute` -- ``n`` 1-cycle instructions of private work;
+* :class:`Read` -- 1 cycle on a hit (or write-buffer forward); a miss
+  stalls the processor until the fill arrives;
+* :class:`Write` -- 1 cycle into the write buffer, unless the buffer is
+  full, in which case the processor stalls until an entry frees;
+* atomics (:class:`FetchAdd`, :class:`FetchStore`, :class:`CompareSwap`)
+  -- force a write-buffer flush, then stall until the operation
+  completes (in the cache controller under WI; at the home memory under
+  PU/CU);
+* :class:`Fence` -- release point: stalls until the write buffer has
+  drained and all outstanding invalidation/update acknowledgements have
+  been collected (release consistency);
+* :class:`Flush` -- the user-level block-flush instruction used by the
+  update-conscious MCS lock;
+* :class:`FlushCache` -- whole-cache flush (the PU fork optimization);
+* :class:`SpinUntil` -- busy-wait on a word until a predicate holds.
+  Each re-check is an ordinary (classified) read; between coherence
+  events the processor spins on its cached copy without generating
+  traffic, so the simulator parks it until the local copy changes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Tuple
+
+
+class Op:
+    """Base class for all operations (exists for isinstance checks)."""
+
+    __slots__ = ()
+
+
+class Read(Op):
+    __slots__ = ("addr",)
+
+    def __init__(self, addr: int) -> None:
+        self.addr = addr
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Read({self.addr:#x})"
+
+
+class Write(Op):
+    """A store.
+
+    ``mask`` models sub-word (byte) stores: only the masked bits of the
+    word are modified, as with the byte flags of the tree barrier's
+    ``childnotready`` array.  ``mask=None`` (default) is a full-word
+    store.  Masked stores merge at every coherence point (writer's
+    cache, home memory), so concurrent stores to *different* bytes of
+    one word never lose each other -- exactly the hardware guarantee
+    byte stores provide.
+    """
+
+    __slots__ = ("addr", "value", "mask")
+
+    def __init__(self, addr: int, value: Any,
+                 mask: "int | None" = None) -> None:
+        self.addr = addr
+        self.value = value
+        self.mask = mask
+
+    def __repr__(self) -> str:  # pragma: no cover
+        m = f", mask={self.mask:#x}" if self.mask is not None else ""
+        return f"Write({self.addr:#x}, {self.value!r}{m})"
+
+
+def merge_word(old: Any, value: Any, mask: "int | None") -> Any:
+    """Apply a (possibly sub-word) store to an existing word value."""
+    if mask is None:
+        return value
+    if old is None:
+        old = 0
+    return (old & ~mask) | (value & mask)
+
+
+class Compute(Op):
+    __slots__ = ("cycles",)
+
+    def __init__(self, cycles: int) -> None:
+        if cycles < 0:
+            raise ValueError("compute cycles must be >= 0")
+        self.cycles = cycles
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Compute({self.cycles})"
+
+
+class _AtomicOp(Op):
+    __slots__ = ("addr",)
+    opname = ""
+
+
+class FetchAdd(_AtomicOp):
+    """fetch_and_add: returns the old value."""
+
+    __slots__ = ("delta",)
+    opname = "faa"
+
+    def __init__(self, addr: int, delta: int = 1) -> None:
+        self.addr = addr
+        self.delta = delta
+
+    @property
+    def operand(self) -> Any:
+        return self.delta
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"FetchAdd({self.addr:#x}, {self.delta})"
+
+
+class FetchStore(_AtomicOp):
+    """fetch_and_store (atomic swap): returns the old value."""
+
+    __slots__ = ("value",)
+    opname = "fas"
+
+    def __init__(self, addr: int, value: Any) -> None:
+        self.addr = addr
+        self.value = value
+
+    @property
+    def operand(self) -> Any:
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"FetchStore({self.addr:#x}, {self.value!r})"
+
+
+class CompareSwap(_AtomicOp):
+    """compare_and_swap: returns True on success."""
+
+    __slots__ = ("expected", "new")
+    opname = "cas"
+
+    def __init__(self, addr: int, expected: Any, new: Any) -> None:
+        self.addr = addr
+        self.expected = expected
+        self.new = new
+
+    @property
+    def operand(self) -> Tuple[Any, Any]:
+        return (self.expected, self.new)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"CompareSwap({self.addr:#x}, {self.expected!r}, {self.new!r})"
+
+
+class Flush(Op):
+    """User-level block flush (PowerPC-604-style)."""
+
+    __slots__ = ("addr",)
+
+    def __init__(self, addr: int) -> None:
+        self.addr = addr
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Flush({self.addr:#x})"
+
+
+class FlushCache(Op):
+    """Flush the whole local cache (fork-time PU optimization)."""
+
+    __slots__ = ()
+
+
+class Fence(Op):
+    """Release point: drain write buffer + collect outstanding acks."""
+
+    __slots__ = ()
+
+
+class SpinUntil(Op):
+    """Busy-wait reading ``addr`` until ``predicate(value)`` is true.
+
+    Returns the satisfying value.
+    """
+
+    __slots__ = ("addr", "predicate")
+
+    def __init__(self, addr: int, predicate: Callable[[Any], bool]) -> None:
+        self.addr = addr
+        self.predicate = predicate
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"SpinUntil({self.addr:#x})"
+
+
+class Fork(Op):
+    """Create a parallel thread on an idle node.
+
+    Under the update-based protocols the runtime flushes the forking
+    processor's cache first (the paper's PU optimization 2: it
+    "eliminates useless updates of data written by the parent but not
+    subsequently needed by the child" -- the parent stops being a
+    sharer of everything it touched before the fork).  Returns a join
+    handle for :class:`Join`.
+    """
+
+    __slots__ = ("node", "program")
+
+    def __init__(self, node: int, program) -> None:
+        self.node = node
+        self.program = program
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Fork(node={self.node})"
+
+
+class Join(Op):
+    """Wait for a forked thread to finish.
+
+    Takes the handle returned by yielding :class:`Fork`.
+    """
+
+    __slots__ = ("handle",)
+
+    def __init__(self, handle) -> None:
+        self.handle = handle
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Join({self.handle!r})"
+
+
+class CallHook(Op):
+    """Escape hatch into the simulation kernel.
+
+    ``fn(proc, resume)`` is invoked with the executing processor and a
+    ``resume(value)`` callback; the thread continues (with ``value``)
+    when the callback fires.  Used by the *ideal* (zero-traffic)
+    synchronization primitives of the reduction experiments, which must
+    serialize processors in simulated time without generating memory
+    references (paper section 4.3).
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable[..., None]) -> None:
+        self.fn = fn
+
+
+def fetch_and_decrement(addr: int) -> FetchAdd:
+    """The fetch_and_decrement used by the centralized barrier."""
+    return FetchAdd(addr, -1)
+
+
+def apply_atomic(opname: str, old: Any, operand: Any) -> Tuple[Any, Any]:
+    """Pure semantics of the three atomic primitives.
+
+    Returns ``(new_value, result)``.  Used by whichever component owns
+    the atomic's computation (cache controller under WI, home memory
+    under PU/CU).
+    """
+    if old is None:
+        old = 0
+    if opname == "faa":
+        return old + operand, old
+    if opname == "fas":
+        return operand, old
+    if opname == "cas":
+        expected, new = operand
+        if old == expected:
+            return new, True
+        return old, False
+    raise ValueError(f"unknown atomic op {opname!r}")

@@ -1,0 +1,14 @@
+"""Per-node memory system: cache, write buffer, memory module, directory
+(subsystems S3-S5)."""
+
+from repro.memsys.cache import Cache, CacheLine, CacheState, EvictionInfo
+from repro.memsys.writebuffer import WriteBuffer, PendingWrite
+from repro.memsys.memory import MemoryModule
+from repro.memsys.directory import Directory, DirEntry, DirState
+
+__all__ = [
+    "Cache", "CacheLine", "CacheState", "EvictionInfo",
+    "WriteBuffer", "PendingWrite",
+    "MemoryModule",
+    "Directory", "DirEntry", "DirState",
+]

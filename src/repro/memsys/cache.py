@@ -1,0 +1,196 @@
+"""Direct-mapped data cache.
+
+64 KB, 64-byte blocks by default (1024 lines).  The cache is a passive
+structure driven by the per-protocol cache controller; it stores per-word
+values (so programs running on the simulator observe functionally
+coherent data) and per-line protocol metadata (install sequence numbers
+used to discard stale invalidations, and the competitive-update counter).
+
+The cache also hosts the *watcher* registry used by the spin-wait fast
+path: any mutation of a block's local copy (install, update, invalidate)
+fires the block's watchers, which is how a spinning processor learns that
+its cached value may have changed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+
+class CacheState(enum.Enum):
+    INVALID = "I"
+    SHARED = "S"       # WI: read-shared, clean
+    MODIFIED = "M"     # WI: exclusive dirty
+    VALID = "V"        # PU/CU: valid copy kept coherent by updates
+    RETAINED = "R"     # PU/CU: effectively-private; writes stay local
+
+
+#: why a block left the cache (drives miss classification)
+class EvictReason(enum.Enum):
+    REPLACEMENT = "replacement"
+    INVALIDATION = "invalidation"   # remote write under WI
+    DROP = "drop"                   # CU self-invalidation
+    FLUSH = "flush"                 # explicit block flush instruction
+
+
+@dataclass
+class EvictionInfo:
+    """Returned by :meth:`Cache.install` when a victim was displaced."""
+    block: int
+    state: CacheState
+    data: Dict[int, Any]
+
+
+class CacheLine:
+    __slots__ = ("block", "state", "data", "seq", "update_count",
+                 "dirty_words")
+
+    def __init__(self, block: int, state: CacheState,
+                 data: Optional[Dict[int, Any]] = None, seq: int = -1):
+        self.block = block
+        self.state = state
+        #: word-aligned address -> value
+        self.data: Dict[int, Any] = dict(data) if data else {}
+        #: sequence number of the installing transaction (stale-INV guard)
+        self.seq = seq
+        #: competitive-update counter (updates since last local reference)
+        self.update_count = 0
+        #: words written locally while RETAINED (flushed on recall)
+        self.dirty_words: Dict[int, Any] = {}
+
+
+class Cache:
+    """A set-associative cache for one node (direct-mapped by default,
+    as in the paper; LRU replacement within a set)."""
+
+    def __init__(self, num_lines: int, block_size: int,
+                 associativity: int = 1) -> None:
+        if num_lines < 1:
+            raise ValueError("cache needs at least one line")
+        if associativity < 1 or num_lines % associativity:
+            raise ValueError(
+                f"associativity {associativity} must divide the "
+                f"{num_lines}-line cache")
+        self.num_lines = num_lines
+        self.block_size = block_size
+        self.associativity = associativity
+        self.num_sets = num_lines // associativity
+        #: per set: lines in LRU order (index 0 = least recent)
+        self._sets: List[List[CacheLine]] = [[] for _ in
+                                             range(self.num_sets)]
+        #: block -> callbacks fired when the local copy of block changes
+        self._watchers: Dict[int, List[Callable[[], None]]] = {}
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+
+    def index_of(self, block: int) -> int:
+        """The set index of ``block``."""
+        return block % self.num_sets
+
+    def lookup(self, block: int) -> Optional[CacheLine]:
+        """The line holding ``block``, or None.  Touches LRU."""
+        ways = self._sets[self.index_of(block)]
+        for i, line in enumerate(ways):
+            if line.block == block:
+                if line.state is CacheState.INVALID:
+                    return None
+                if i != len(ways) - 1:          # move to MRU position
+                    ways.append(ways.pop(i))
+                return line
+        return None
+
+    def contains(self, block: int) -> bool:
+        return self.lookup(block) is not None
+
+    def resident_blocks(self) -> List[int]:
+        return [ln.block for ways in self._sets for ln in ways
+                if ln.state is not CacheState.INVALID]
+
+    # ------------------------------------------------------------------
+    # mutation (all mutators fire watchers)
+    # ------------------------------------------------------------------
+
+    def install(self, block: int, state: CacheState,
+                data: Dict[int, Any], seq: int = -1
+                ) -> Optional[EvictionInfo]:
+        """Install ``block``; returns eviction info if a different valid
+        block was displaced (the set's LRU victim)."""
+        ways = self._sets[self.index_of(block)]
+        evicted = None
+        for i, line in enumerate(ways):
+            if line.block == block:
+                ways.pop(i)
+                break
+        if len(ways) >= self.associativity:
+            victim = ways.pop(0)                # LRU
+            if victim.state is not CacheState.INVALID:
+                evicted = EvictionInfo(victim.block, victim.state,
+                                       dict(victim.data))
+        ways.append(CacheLine(block, state, data, seq))
+        self._fire(block)
+        if evicted is not None:
+            # a spinner parked on the victim must notice it left
+            self._fire(evicted.block)
+        return evicted
+
+    def invalidate(self, block: int) -> Optional[CacheLine]:
+        """Drop ``block`` if present; returns the old line (for
+        writeback decisions) or None."""
+        ways = self._sets[self.index_of(block)]
+        for i, line in enumerate(ways):
+            if line.block == block and \
+                    line.state is not CacheState.INVALID:
+                ways.pop(i)
+                self._fire(block)
+                return line
+        return None
+
+    def write_word(self, block: int, word: int, value: Any) -> bool:
+        """Update one word of a cached block (local write or incoming
+        update).  Returns False if the block is not cached."""
+        line = self.lookup(block)
+        if line is None:
+            return False
+        line.data[word] = value
+        self._fire(block)
+        return True
+
+    def set_state(self, block: int, state: CacheState) -> None:
+        line = self.lookup(block)
+        if line is None:
+            raise KeyError(f"block {block} not cached")
+        line.state = state
+        self._fire(block)
+
+    def read_word(self, block: int, word: int) -> Any:
+        line = self.lookup(block)
+        if line is None:
+            raise KeyError(f"block {block} not cached")
+        return line.data.get(word, 0)
+
+    # ------------------------------------------------------------------
+    # watchers (spin-wait fast path)
+    # ------------------------------------------------------------------
+
+    def watch(self, block: int, callback: Callable[[], None]) -> None:
+        """Register a one-shot callback fired on the next change to the
+        local copy of ``block``."""
+        self._watchers.setdefault(block, []).append(callback)
+
+    def unwatch_all(self, block: int) -> None:
+        self._watchers.pop(block, None)
+
+    def _fire(self, block: int) -> None:
+        cbs = self._watchers.pop(block, None)
+        if cbs:
+            for cb in cbs:
+                cb()
+
+    # ------------------------------------------------------------------
+
+    def occupancy(self) -> int:
+        return len(self.resident_blocks())

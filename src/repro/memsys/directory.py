@@ -1,0 +1,100 @@
+"""Full-map directory.
+
+One directory entry per shared block, kept at the block's home node.
+The same entry structure serves all three protocols:
+
+* WI uses ``UNOWNED`` / ``SHARED`` / ``DIRTY`` with a full sharer bitmap
+  (here: a set) or a single owner;
+* PU/CU use ``SHARED`` with the sharer set being the nodes that receive
+  updates, plus ``DIRTY`` for the retain-private optimization (the
+  "owner" holds the only up-to-date copy and suppresses write-throughs).
+
+Transactions are serialized per block at the home: while an entry is
+*busy* with an in-flight transaction, subsequent requests queue and are
+serviced in arrival order.  Each transaction gets a sequence number that
+data replies and invalidations carry, so caches can discard stale
+invalidations that race with newer fills.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Optional, Set, Tuple
+
+
+class DirState(enum.Enum):
+    UNOWNED = "U"
+    SHARED = "S"
+    DIRTY = "D"
+
+
+class DirEntry:
+    __slots__ = ("block", "state", "sharers", "owner", "busy", "queue",
+                 "seq")
+
+    def __init__(self, block: int) -> None:
+        self.block = block
+        self.state = DirState.UNOWNED
+        self.sharers: Set[int] = set()
+        self.owner: int = -1
+        self.busy = False
+        #: queued (callback, args) transactions awaiting the entry
+        self.queue: Deque[Tuple[Callable, tuple]] = deque()
+        self.seq = 0
+
+    def next_seq(self) -> int:
+        self.seq += 1
+        return self.seq
+
+    def __repr__(self) -> str:  # pragma: no cover
+        who = (f"owner={self.owner}" if self.state is DirState.DIRTY
+               else f"sharers={sorted(self.sharers)}")
+        return (f"<Dir blk={self.block} {self.state.value} {who}"
+                f"{' BUSY' if self.busy else ''}>")
+
+
+class Directory:
+    """Directory for the blocks homed at one node."""
+
+    def __init__(self, node: int) -> None:
+        self.node = node
+        self._entries: Dict[int, DirEntry] = {}
+
+    def entry(self, block: int) -> DirEntry:
+        ent = self._entries.get(block)
+        if ent is None:
+            ent = DirEntry(block)
+            self._entries[block] = ent
+        return ent
+
+    def peek(self, block: int) -> Optional[DirEntry]:
+        return self._entries.get(block)
+
+    def entries(self) -> Dict[int, DirEntry]:
+        return self._entries
+
+    # ------------------------------------------------------------------
+    # per-block transaction serialization
+    # ------------------------------------------------------------------
+
+    def acquire(self, block: int, fn: Callable, *args: Any) -> None:
+        """Run ``fn(*args)`` when the entry is free, marking it busy.
+        The transaction must call :meth:`release` when done."""
+        ent = self.entry(block)
+        if ent.busy:
+            ent.queue.append((fn, args))
+        else:
+            ent.busy = True
+            fn(*args)
+
+    def release(self, block: int) -> None:
+        """Finish the in-flight transaction; starts the next queued one."""
+        ent = self.entry(block)
+        if not ent.busy:
+            raise RuntimeError(f"release of non-busy entry for blk {block}")
+        if ent.queue:
+            fn, args = ent.queue.popleft()
+            fn(*args)  # entry stays busy for the next transaction
+        else:
+            ent.busy = False

@@ -1,0 +1,117 @@
+"""4-entry write buffer with read bypass / forwarding.
+
+Per the paper: writes go into the write buffer and take 1 cycle, unless
+the buffer is full, in which case the processor stalls until an entry
+frees.  Reads are allowed to bypass queued writes (and, for functional
+correctness, forward the value of a queued write to the same word).
+
+The buffer itself is passive FIFO storage; the per-protocol cache
+controller owns the retire loop (it pops the head, runs the protocol's
+write transaction, and releases the entry when the write has globally
+performed far enough for the next one to issue).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Any, Callable, Deque, List, Optional
+
+_write_ids = itertools.count()
+
+
+class PendingWrite:
+    __slots__ = ("write_id", "addr", "word", "block", "value", "mask")
+
+    def __init__(self, addr: int, word: int, block: int, value: Any,
+                 mask: Optional[int] = None) -> None:
+        self.write_id = next(_write_ids)
+        self.addr = addr
+        self.word = word
+        self.block = block
+        self.value = value
+        #: sub-word store mask (None = full word)
+        self.mask = mask
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<W#{self.write_id} {self.word:#x}={self.value!r}>"
+
+
+class WriteBuffer:
+    """FIFO write buffer for one processor."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("write buffer capacity must be >= 1")
+        self.capacity = capacity
+        self._fifo: Deque[PendingWrite] = deque()
+        #: callbacks waiting for a free slot (stalled processor)
+        self._space_waiters: List[Callable[[], None]] = []
+        #: callbacks waiting for the buffer to drain completely
+        self._empty_waiters: List[Callable[[], None]] = []
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._fifo)
+
+    @property
+    def full(self) -> bool:
+        return len(self._fifo) >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        return not self._fifo
+
+    def enqueue(self, write: PendingWrite) -> None:
+        if self.full:
+            raise RuntimeError("enqueue on full write buffer")
+        self._fifo.append(write)
+
+    def head(self) -> Optional[PendingWrite]:
+        return self._fifo[0] if self._fifo else None
+
+    def pop(self) -> PendingWrite:
+        """Retire the head entry and wake space/empty waiters."""
+        write = self._fifo.popleft()
+        if self._space_waiters:
+            waiters, self._space_waiters = self._space_waiters, []
+            for cb in waiters:
+                cb()
+        if not self._fifo and self._empty_waiters:
+            waiters, self._empty_waiters = self._empty_waiters, []
+            for cb in waiters:
+                cb()
+        return write
+
+    # ------------------------------------------------------------------
+    # read forwarding
+    # ------------------------------------------------------------------
+
+    def forward(self, word: int) -> Optional[PendingWrite]:
+        """Most recent queued write to ``word`` (reads bypass + forward)."""
+        for write in reversed(self._fifo):
+            if write.word == word:
+                return write
+        return None
+
+    def writes_to(self, word: int) -> List[PendingWrite]:
+        """All queued writes to ``word``, oldest first (for composing
+        sub-word stores)."""
+        return [w for w in self._fifo if w.word == word]
+
+    def pending_blocks(self) -> List[int]:
+        return [w.block for w in self._fifo]
+
+    # ------------------------------------------------------------------
+    # stall hooks
+    # ------------------------------------------------------------------
+
+    def on_space(self, callback: Callable[[], None]) -> None:
+        self._space_waiters.append(callback)
+
+    def on_empty(self, callback: Callable[[], None]) -> None:
+        if self.empty:
+            callback()
+        else:
+            self._empty_waiters.append(callback)

@@ -1,0 +1,20 @@
+"""Result aggregation and presentation for the experiment harness."""
+
+from repro.metrics.tables import (
+    format_table, format_series, format_stacked, Series, StackedBars,
+)
+from repro.metrics.phases import PhaseTracker, PhaseDelta
+from repro.metrics.analysis import (
+    NodeUtilization, TrafficSummary, compare_runs, hottest_memories,
+    markdown_report, node_utilization, render_traffic_matrix, summarize,
+    traffic_matrix,
+)
+
+__all__ = [
+    "format_table", "format_series", "format_stacked",
+    "Series", "StackedBars",
+    "NodeUtilization", "TrafficSummary", "compare_runs",
+    "hottest_memories", "markdown_report", "node_utilization",
+    "render_traffic_matrix", "summarize", "traffic_matrix",
+    "PhaseTracker", "PhaseDelta",
+]

@@ -1,0 +1,209 @@
+"""SVG rendering of the paper's figures (no dependencies).
+
+Produces self-contained SVG documents for the two figure shapes the
+paper uses: latency-vs-machine-size line charts (figures 8, 11, 14) and
+stacked traffic bars (figures 9, 10, 12, 13, 15, 16).  The experiments
+CLI writes them with ``--svg DIR``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+from xml.sax.saxutils import escape
+
+from repro.metrics.tables import Series, StackedBars
+
+#: a colorblind-reasonable categorical palette
+PALETTE = [
+    "#4477aa", "#ee6677", "#228833", "#ccbb44", "#66ccee",
+    "#aa3377", "#bbbbbb", "#000000", "#997700",
+]
+
+WIDTH, HEIGHT = 720, 440
+MARGIN = dict(left=78, right=180, top=48, bottom=56)
+
+
+def _fmt(v: float) -> str:
+    if v >= 1_000_000:
+        return f"{v / 1_000_000:.1f}M"
+    if v >= 10_000:
+        return f"{v / 1000:.0f}k"
+    if v >= 1000:
+        return f"{v / 1000:.1f}k"
+    if v == int(v):
+        return f"{int(v)}"
+    return f"{v:.1f}"
+
+
+def _axis_ticks(vmax: float, n: int = 5) -> List[float]:
+    if vmax <= 0:
+        return [0.0]
+    step = vmax / n
+    mag = 10 ** math.floor(math.log10(step))
+    for mult in (1, 2, 2.5, 5, 10):
+        if mag * mult >= step:
+            step = mag * mult
+            break
+    return [i * step for i in range(int(vmax / step) + 2)]
+
+
+def _doc(body: List[str], title: str) -> str:
+    head = (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" '
+        f'height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" '
+        f'font-family="Helvetica, Arial, sans-serif">'
+        f'<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>'
+        f'<text x="{WIDTH / 2}" y="24" text-anchor="middle" '
+        f'font-size="15" font-weight="bold">{escape(title)}</text>'
+    )
+    return head + "".join(body) + "</svg>"
+
+
+def series_to_svg(series: Series, log_y: bool = False) -> str:
+    """A line chart of a latency Series (one line per combination)."""
+    left, right = MARGIN["left"], WIDTH - MARGIN["right"]
+    top, bottom = MARGIN["top"], HEIGHT - MARGIN["bottom"]
+    xs = series.xs
+    if not xs:
+        return _doc(["<text x='20' y='60'>no data</text>"], series.title)
+    all_vals = [v for line in series.lines.values()
+                for v in line if v is not None]
+    vmax = max(all_vals) if all_vals else 1.0
+    vmin = min(all_vals) if all_vals else 0.0
+
+    def x_at(i: int) -> float:
+        if len(xs) == 1:
+            return (left + right) / 2
+        return left + i * (right - left) / (len(xs) - 1)
+
+    if log_y:
+        lo = math.log10(max(vmin, 1e-9))
+        hi = math.log10(max(vmax, 1e-9))
+        span = (hi - lo) or 1.0
+
+        def y_at(v: float) -> float:
+            return bottom - (math.log10(max(v, 1e-9)) - lo) \
+                / span * (bottom - top)
+        ticks = [10 ** e for e in range(math.floor(lo),
+                                        math.ceil(hi) + 1)]
+    else:
+        def y_at(v: float) -> float:
+            return bottom - (v / vmax) * (bottom - top) if vmax else bottom
+        ticks = _axis_ticks(vmax)
+
+    body: List[str] = []
+    # axes + gridlines
+    body.append(f'<line x1="{left}" y1="{bottom}" x2="{right}" '
+                f'y2="{bottom}" stroke="#333"/>')
+    body.append(f'<line x1="{left}" y1="{top}" x2="{left}" '
+                f'y2="{bottom}" stroke="#333"/>')
+    for t in ticks:
+        if t > vmax * 1.15 and not log_y:
+            continue
+        y = y_at(t)
+        if y < top - 1:
+            continue
+        body.append(f'<line x1="{left}" y1="{y:.1f}" x2="{right}" '
+                    f'y2="{y:.1f}" stroke="#e5e5e5"/>')
+        body.append(f'<text x="{left - 6}" y="{y + 4:.1f}" '
+                    f'text-anchor="end" font-size="11">{_fmt(t)}</text>')
+    for i, xv in enumerate(xs):
+        x = x_at(i)
+        body.append(f'<text x="{x:.1f}" y="{bottom + 18}" '
+                    f'text-anchor="middle" font-size="11">{xv}</text>')
+    body.append(f'<text x="{(left + right) / 2}" y="{bottom + 38}" '
+                f'text-anchor="middle" font-size="12">'
+                f'{escape(series.xlabel)}</text>')
+    body.append(f'<text x="20" y="{(top + bottom) / 2}" font-size="12" '
+                f'transform="rotate(-90 20 {(top + bottom) / 2})" '
+                f'text-anchor="middle">{escape(series.ylabel)}</text>')
+
+    # lines + legend
+    for li, (label, values) in enumerate(series.lines.items()):
+        color = PALETTE[li % len(PALETTE)]
+        pts = [(x_at(i), y_at(v)) for i, v in enumerate(values)
+               if v is not None]
+        if pts:
+            path = " ".join(f"{x:.1f},{y:.1f}" for x, y in pts)
+            body.append(f'<polyline points="{path}" fill="none" '
+                        f'stroke="{color}" stroke-width="2"/>')
+            for x, y in pts:
+                body.append(f'<circle cx="{x:.1f}" cy="{y:.1f}" r="3" '
+                            f'fill="{color}"/>')
+        ly = top + 4 + li * 18
+        body.append(f'<line x1="{right + 14}" y1="{ly}" '
+                    f'x2="{right + 38}" y2="{ly}" stroke="{color}" '
+                    f'stroke-width="2"/>')
+        body.append(f'<text x="{right + 44}" y="{ly + 4}" '
+                    f'font-size="12">{escape(label)}</text>')
+    return _doc(body, series.title)
+
+
+def stacked_to_svg(bars: StackedBars) -> str:
+    """A stacked bar chart of a traffic StackedBars dataset."""
+    left, right = MARGIN["left"], WIDTH - MARGIN["right"]
+    top, bottom = MARGIN["top"], HEIGHT - MARGIN["bottom"]
+    labels = list(bars.bars.keys())
+    if not labels:
+        return _doc(["<text x='20' y='60'>no data</text>"], bars.title)
+    vmax = max(bars.total(lbl) for lbl in labels) or 1
+
+    def y_at(v: float) -> float:
+        return bottom - (v / vmax) * (bottom - top)
+
+    body: List[str] = []
+    body.append(f'<line x1="{left}" y1="{bottom}" x2="{right}" '
+                f'y2="{bottom}" stroke="#333"/>')
+    body.append(f'<line x1="{left}" y1="{top}" x2="{left}" '
+                f'y2="{bottom}" stroke="#333"/>')
+    for t in _axis_ticks(vmax):
+        if t > vmax * 1.15:
+            continue
+        y = y_at(t)
+        body.append(f'<line x1="{left}" y1="{y:.1f}" x2="{right}" '
+                    f'y2="{y:.1f}" stroke="#e5e5e5"/>')
+        body.append(f'<text x="{left - 6}" y="{y + 4:.1f}" '
+                    f'text-anchor="end" font-size="11">{_fmt(t)}</text>')
+
+    slot = (right - left) / len(labels)
+    bw = slot * 0.62
+    for bi, label in enumerate(labels):
+        x = left + bi * slot + (slot - bw) / 2
+        acc = 0
+        for ci, cat in enumerate(bars.categories):
+            n = bars.bars[label][cat]
+            if n <= 0:
+                continue
+            y1 = y_at(acc + n)
+            h = y_at(acc) - y1
+            color = PALETTE[ci % len(PALETTE)]
+            body.append(f'<rect x="{x:.1f}" y="{y1:.1f}" '
+                        f'width="{bw:.1f}" height="{max(h, 0.5):.1f}" '
+                        f'fill="{color}"/>')
+            acc += n
+        body.append(f'<text x="{x + bw / 2:.1f}" y="{bottom + 16}" '
+                    f'text-anchor="middle" font-size="11">'
+                    f'{escape(label)}</text>')
+        total = bars.total(label)
+        body.append(f'<text x="{x + bw / 2:.1f}" '
+                    f'y="{y_at(total) - 5:.1f}" text-anchor="middle" '
+                    f'font-size="9" fill="#555">{_fmt(total)}</text>')
+
+    for ci, cat in enumerate(bars.categories):
+        color = PALETTE[ci % len(PALETTE)]
+        ly = top + 4 + ci * 18
+        body.append(f'<rect x="{right + 14}" y="{ly - 8}" width="12" '
+                    f'height="12" fill="{color}"/>')
+        body.append(f'<text x="{right + 32}" y="{ly + 2}" '
+                    f'font-size="12">{escape(cat)}</text>')
+    return _doc(body, bars.title)
+
+
+def to_svg(data) -> str:
+    """Dispatch on the dataset type."""
+    if isinstance(data, Series):
+        return series_to_svg(data)
+    if isinstance(data, StackedBars):
+        return stacked_to_svg(data)
+    raise TypeError(f"cannot render {type(data).__name__} as SVG")

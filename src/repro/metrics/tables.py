@@ -1,0 +1,136 @@
+"""Plain-text rendering of the paper's figures.
+
+Line figures (8, 11, 14) become one row per machine size with one
+column per algorithm/protocol combination; bar figures (9, 10, 12, 13,
+15, 16) become one row per combination with one column per traffic
+category, plus a text bar chart for quick visual comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: str = "") -> str:
+    """Simple fixed-width table."""
+    cols = [[str(h)] for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            if isinstance(cell, float):
+                cols[i].append(f"{cell:,.1f}")
+            else:
+                cols[i].append(str(cell))
+    widths = [max(len(c) for c in col) for col in cols]
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    header = "  ".join(h.rjust(w) for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    nrows = len(rows)
+    for r in range(nrows):
+        lines.append("  ".join(
+            cols[i][r + 1].rjust(widths[i]) for i in range(len(headers))))
+    return "\n".join(lines)
+
+
+@dataclass
+class Series:
+    """A line-figure dataset: metric vs machine size, one line per
+    algorithm/protocol combination."""
+
+    title: str
+    xlabel: str
+    ylabel: str
+    xs: List[int] = field(default_factory=list)
+    #: combination label -> list of y values aligned with ``xs``
+    lines: Dict[str, List[Optional[float]]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._points: Dict[str, Dict[int, float]] = {}
+
+    def add(self, label: str, x: int, y: float) -> None:
+        if x not in self.xs:
+            self.xs.append(x)
+            self.xs.sort()
+        self._points.setdefault(label, {})[x] = y
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        self.lines = {
+            label: [pts.get(x) for x in self.xs]
+            for label, pts in self._points.items()
+        }
+
+    def get(self, label: str, x: int) -> Optional[float]:
+        return self._points.get(label, {}).get(x)
+
+    def as_rows(self) -> List[List]:
+        rows = []
+        for i, x in enumerate(self.xs):
+            row: List = [x]
+            for label in self.lines:
+                v = self.lines[label][i]
+                row.append("-" if v is None else v)
+            rows.append(row)
+        return rows
+
+    def render(self) -> str:
+        headers = [self.xlabel] + list(self.lines.keys())
+        return format_table(headers, self.as_rows(),
+                            f"{self.title}  [{self.ylabel}]")
+
+
+@dataclass
+class StackedBars:
+    """A bar-figure dataset: per-combination stacked category counts."""
+
+    title: str
+    categories: List[str]
+    #: combination label -> {category -> count}
+    bars: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    def add(self, label: str, counts: Dict[str, int]) -> None:
+        self.bars[label] = {c: counts.get(c, 0) for c in self.categories}
+
+    def total(self, label: str) -> int:
+        return sum(self.bars[label].values())
+
+    def as_rows(self) -> List[List]:
+        rows = []
+        for label, counts in self.bars.items():
+            row: List = [label]
+            row.extend(counts[c] for c in self.categories)
+            row.append(sum(counts.values()))
+            rows.append(row)
+        return rows
+
+    def render(self, bar_width: int = 44) -> str:
+        headers = ["combo"] + self.categories + ["total"]
+        out = [format_table(headers, self.as_rows(), self.title)]
+        maxtot = max((self.total(lbl) for lbl in self.bars), default=0)
+        if maxtot > 0:
+            out.append("")
+            glyphs = "#%*=+:~."
+            for label, counts in self.bars.items():
+                bar = ""
+                for i, c in enumerate(self.categories):
+                    n = counts[c]
+                    width = round(n / maxtot * bar_width)
+                    bar += glyphs[i % len(glyphs)] * width
+                out.append(f"  {label:>8} |{bar}")
+            legend = "  ".join(f"{glyphs[i % len(glyphs)]}={c}"
+                               for i, c in enumerate(self.categories))
+            out.append(f"  legend: {legend}")
+        return "\n".join(out)
+
+
+def format_series(series: Series) -> str:
+    return series.render()
+
+
+def format_stacked(bars: StackedBars) -> str:
+    return bars.render()

@@ -1,0 +1,148 @@
+"""Processor-state timeline: what was each CPU doing, when?
+
+Opt-in instrumentation for debugging and teaching: wrap thread programs
+with :func:`instrument`, run, then render an ASCII Gantt chart of
+processor states (computing / memory-stalled / spinning / syncing).
+
+The wrapper classifies each yielded operation and records state
+intervals at the Python level -- zero cost when not used, and no
+changes to the simulator itself.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.ops import (
+    CallHook, Compute, Fence, Flush, FlushCache, Fork, Join, Op, Read,
+    SpinUntil, Write, _AtomicOp,
+)
+
+
+class CpuState(enum.Enum):
+    COMPUTE = "compute"
+    MEMORY = "memory"       # reads/writes/atomics/flushes
+    SPIN = "spin"
+    SYNC = "sync"           # fences, hooks, fork/join
+    DONE = "done"
+
+    @property
+    def glyph(self) -> str:
+        return {"compute": "#", "memory": "m", "spin": ".",
+                "sync": "|", "done": " "}[self.value]
+
+
+def _classify(op: Op) -> CpuState:
+    if isinstance(op, Compute):
+        return CpuState.COMPUTE
+    if isinstance(op, SpinUntil):
+        return CpuState.SPIN
+    if isinstance(op, (Fence, CallHook, Fork, Join)):
+        return CpuState.SYNC
+    if isinstance(op, (Read, Write, _AtomicOp, Flush, FlushCache)):
+        return CpuState.MEMORY
+    return CpuState.SYNC
+
+
+@dataclass
+class Interval:
+    start: int
+    end: int
+    state: CpuState
+
+
+class Timeline:
+    """Collects per-processor state intervals."""
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        self._intervals: Dict[int, List[Interval]] = {}
+        self._open: Dict[int, Tuple[int, CpuState]] = {}
+
+    # ------------------------------------------------------------------
+
+    def instrument(self, node: int, program):
+        """Wrap ``program`` so its states land on this timeline."""
+        self._intervals.setdefault(node, [])
+
+        def wrapped():
+            gen = program
+            value = None
+            while True:
+                try:
+                    op = gen.send(value)
+                except StopIteration:
+                    self._close(node)
+                    return
+                self._enter(node, _classify(op))
+                value = yield op
+
+        return wrapped()
+
+    def _enter(self, node: int, state: CpuState) -> None:
+        now = self.sim.now
+        open_ = self._open.get(node)
+        if open_ is not None:
+            start, prev = open_
+            if prev is state:
+                return
+            if now > start:
+                self._intervals[node].append(Interval(start, now, prev))
+        self._open[node] = (now, state)
+
+    def _close(self, node: int) -> None:
+        open_ = self._open.pop(node, None)
+        if open_ is not None:
+            start, prev = open_
+            if self.sim.now > start:
+                self._intervals[node].append(
+                    Interval(start, self.sim.now, prev))
+
+    # ------------------------------------------------------------------
+
+    def intervals(self, node: int) -> List[Interval]:
+        self._flush_open(node)
+        return list(self._intervals.get(node, []))
+
+    def _flush_open(self, node: int) -> None:
+        if node in self._open:
+            start, prev = self._open[node]
+            if self.sim.now > start:
+                self._intervals[node].append(
+                    Interval(start, self.sim.now, prev))
+                self._open[node] = (self.sim.now, prev)
+
+    def state_fractions(self, node: int) -> Dict[CpuState, float]:
+        """Fraction of the node's active time in each state."""
+        ivs = self.intervals(node)
+        total = sum(iv.end - iv.start for iv in ivs)
+        out: Dict[CpuState, float] = {}
+        if not total:
+            return out
+        for iv in ivs:
+            out[iv.state] = out.get(iv.state, 0.0) + \
+                (iv.end - iv.start) / total
+        return out
+
+    def render(self, width: int = 72, until: Optional[int] = None) -> str:
+        """ASCII Gantt chart: one row per instrumented processor."""
+        horizon = until if until is not None else self.sim.now
+        if horizon <= 0:
+            return "(empty timeline)"
+        lines = [f"processor timeline, 0..{horizon} cycles "
+                 f"({horizon / width:.0f} cycles/char)"]
+        for node in sorted(self._intervals):
+            row = [" "] * width
+            for iv in self.intervals(node):
+                lo = min(width - 1, iv.start * width // horizon)
+                hi = min(width - 1, max(lo, (iv.end - 1) * width
+                                        // horizon))
+                for x in range(lo, hi + 1):
+                    row[x] = iv.state.glyph
+            lines.append(f"p{node:<3}|{''.join(row)}|")
+        legend = "  ".join(f"{s.glyph}={s.value}" for s in CpuState
+                           if s is not CpuState.DONE)
+        lines.append(f"     {legend}")
+        return "\n".join(lines)

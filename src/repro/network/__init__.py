@@ -1,0 +1,12 @@
+"""Interconnection network (subsystem S6).
+
+A bi-directional wormhole-routed 2-D mesh with dimension-ordered routing,
+a 16-bit datapath, 2-cycle per-switch header delay, and contention
+modeled at the source and destination of messages (as in the paper).
+"""
+
+from repro.network.messages import Message, MsgType
+from repro.network.topology import MeshTopology
+from repro.network.fabric import Network, NetworkStats
+
+__all__ = ["Message", "MsgType", "MeshTopology", "Network", "NetworkStats"]

@@ -1,0 +1,159 @@
+"""The network fabric: wormhole latency model with endpoint contention.
+
+Latency model (paper section 3.1):
+
+* the network clock equals the processor clock;
+* each switch on the route adds a 2-cycle delay to the message header;
+* the datapath is 16 bits wide, so a message of ``size`` bytes serializes
+  in ``ceil(size / 2)`` cycles;
+* contention is modeled only at the source and destination of messages,
+  as FIFO occupancy of the sending and receiving network interfaces.
+
+A message therefore departs when the source NIC is free, occupies it for
+its serialization time, propagates for ``2 * hops`` cycles, and is
+delivered once the destination NIC has streamed it in (again its
+serialization time, starting no earlier than both the head's arrival and
+the NIC becoming free).
+
+Node-local transactions (a processor talking to its own home memory) do
+not traverse the network; they are delivered after a small fixed
+``local_hop_cycles`` delay.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.config import MachineConfig
+from repro.engine import Simulator
+from repro.network.messages import Message, MsgType
+from repro.network.topology import MeshTopology
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate traffic statistics."""
+
+    messages: int = 0
+    bytes: int = 0
+    local_messages: int = 0
+    by_type: Dict[MsgType, int] = field(default_factory=dict)
+    bytes_by_type: Dict[MsgType, int] = field(default_factory=dict)
+    #: (src, dst) -> message count (the traffic matrix)
+    by_pair: Dict[tuple, int] = field(default_factory=dict)
+    #: per-node sent / received message counts
+    sent_by_node: Dict[int, int] = field(default_factory=dict)
+    recv_by_node: Dict[int, int] = field(default_factory=dict)
+    #: total cycles messages spent queued behind busy endpoint NICs
+    contention_cycles: int = 0
+
+    def count(self, msg: Message, queued: int, local: bool) -> None:
+        self.messages += 1
+        self.bytes += msg.size
+        if local:
+            self.local_messages += 1
+        self.by_type[msg.mtype] = self.by_type.get(msg.mtype, 0) + 1
+        self.bytes_by_type[msg.mtype] = (
+            self.bytes_by_type.get(msg.mtype, 0) + msg.size)
+        pair = (msg.src, msg.dst)
+        self.by_pair[pair] = self.by_pair.get(pair, 0) + 1
+        self.sent_by_node[msg.src] = self.sent_by_node.get(msg.src, 0) + 1
+        self.recv_by_node[msg.dst] = self.recv_by_node.get(msg.dst, 0) + 1
+        self.contention_cycles += queued
+
+
+class Network:
+    """Delivers messages between node controllers.
+
+    Each node registers a single handler; protocol controllers multiplex
+    on :class:`~repro.network.messages.MsgType`.
+    """
+
+    def __init__(self, sim: Simulator, config: MachineConfig) -> None:
+        self.sim = sim
+        self.config = config
+        self.topology = MeshTopology(config.num_procs)
+        self.stats = NetworkStats()
+        self._handlers: List[Optional[Callable[[Message], None]]] = (
+            [None] * config.num_procs)
+        # busy-until times of each node's egress / ingress NIC
+        self._src_free = [0] * config.num_procs
+        self._dst_free = [0] * config.num_procs
+        self._jitter_rng = (random.Random(config.network_jitter_seed)
+                            if config.network_jitter_cycles else None)
+
+    def register(self, node: int, handler: Callable[[Message], None]) -> None:
+        if self._handlers[node] is not None:
+            raise ValueError(f"node {node} already has a handler")
+        self._handlers[node] = handler
+
+    # ------------------------------------------------------------------
+
+    def size_of(self, msg: Message) -> int:
+        cfg = self.config
+        if msg.mtype.is_data:
+            return cfg.data_msg_bytes
+        if msg.mtype.is_word:
+            return cfg.word_msg_bytes
+        return cfg.ctrl_msg_bytes
+
+    def flits_of(self, size_bytes: int) -> int:
+        fb = self.config.flit_bytes
+        return (size_bytes + fb - 1) // fb
+
+    def latency(self, src: int, dst: int, size_bytes: int) -> int:
+        """Contention-free latency of a message (for analysis/tests)."""
+        if src == dst:
+            return self.config.local_hop_cycles
+        hops = self.topology.hops(src, dst)
+        return (self.config.switch_delay_cycles * hops
+                + 2 * self.flits_of(size_bytes))
+
+    # ------------------------------------------------------------------
+
+    def send(self, msg: Message) -> None:
+        """Inject ``msg``; it is handed to the destination handler when
+        fully delivered."""
+        cfg = self.config
+        sim = self.sim
+        now = sim.now
+        msg.size = self.size_of(msg)
+        msg.send_time = now
+
+        if msg.src == msg.dst:
+            # node-local transaction: no mesh traversal, but the message
+            # still serializes through the node's NIC/bus, so a burst of
+            # outgoing messages (e.g. an update fan-out) delays it
+            flits = self.flits_of(msg.size)
+            depart = max(now, self._src_free[msg.src])
+            self._src_free[msg.src] = depart + flits
+            deliver = depart + flits + cfg.local_hop_cycles
+            self.stats.count(msg, depart - now, local=True)
+            sim.at(deliver, self._deliver, msg)
+            return
+
+        flits = self.flits_of(msg.size)
+        depart = max(now, self._src_free[msg.src])
+        self._src_free[msg.src] = depart + flits
+        head_arrival = (depart + flits
+                        + cfg.switch_delay_cycles
+                        * self.topology.hops(msg.src, msg.dst))
+        if self._jitter_rng is not None:
+            head_arrival += self._jitter_rng.randint(
+                0, cfg.network_jitter_cycles)
+        deliver = max(head_arrival, self._dst_free[msg.dst]) + flits
+        self._dst_free[msg.dst] = deliver
+
+        queued = (depart - now) + (deliver - flits - head_arrival
+                                   if head_arrival < self._dst_free[msg.dst]
+                                   else 0)
+        self.stats.count(msg, max(0, queued), local=False)
+        sim.at(deliver, self._deliver, msg)
+
+    def _deliver(self, msg: Message) -> None:
+        handler = self._handlers[msg.dst]
+        if handler is None:
+            raise RuntimeError(f"no handler registered for node {msg.dst}")
+        handler(msg)

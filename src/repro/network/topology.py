@@ -1,0 +1,74 @@
+"""Mesh topology and dimension-ordered routing.
+
+The machine is a bi-directional 2-D mesh.  Dimension-ordered (X-then-Y)
+routing makes the path between two nodes unique; because the paper models
+contention only at source and destination, the topology's job is to
+provide hop counts and (for tests and visualization) explicit routes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.config import mesh_shape
+
+
+class MeshTopology:
+    """A ``width x height`` bi-directional mesh with X-then-Y routing."""
+
+    def __init__(self, num_nodes: int) -> None:
+        self.num_nodes = num_nodes
+        self.width, self.height = mesh_shape(num_nodes)
+        if self.width * self.height != num_nodes:
+            raise ValueError(
+                f"mesh {self.width}x{self.height} cannot host {num_nodes}")
+        # precomputed hop-count table; num_nodes <= 64 so this is tiny
+        self._hops = [
+            [self._hop_count(a, b) for b in range(num_nodes)]
+            for a in range(num_nodes)
+        ]
+
+    # ------------------------------------------------------------------
+
+    def coords(self, node: int) -> Tuple[int, int]:
+        """(x, y) coordinates of ``node`` in row-major order."""
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(f"node {node} out of range")
+        return node % self.width, node // self.width
+
+    def node_at(self, x: int, y: int) -> int:
+        if not (0 <= x < self.width and 0 <= y < self.height):
+            raise ValueError(f"({x},{y}) outside {self.width}x{self.height}")
+        return y * self.width + x
+
+    def _hop_count(self, a: int, b: int) -> int:
+        ax, ay = a % self.width, a // self.width
+        bx, by = b % self.width, b // self.width
+        return abs(ax - bx) + abs(ay - by)
+
+    def hops(self, src: int, dst: int) -> int:
+        """Number of switch-to-switch hops on the unique X-then-Y route."""
+        return self._hops[src][dst]
+
+    def route(self, src: int, dst: int) -> List[int]:
+        """The full node sequence of the dimension-ordered route."""
+        sx, sy = self.coords(src)
+        dx, dy = self.coords(dst)
+        path = [src]
+        x, y = sx, sy
+        step = 1 if dx > sx else -1
+        while x != dx:
+            x += step
+            path.append(self.node_at(x, y))
+        step = 1 if dy > sy else -1
+        while y != dy:
+            y += step
+            path.append(self.node_at(x, y))
+        return path
+
+    @property
+    def diameter(self) -> int:
+        return (self.width - 1) + (self.height - 1)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"MeshTopology({self.width}x{self.height})"

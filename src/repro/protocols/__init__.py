@@ -1,0 +1,29 @@
+"""Coherence protocols (subsystems S7-S10).
+
+Each node has a single :class:`~repro.protocols.base.NodeCtrl` combining
+the cache-side role (processor requests, fills, invalidations, updates)
+and the home-side role (directory + memory for the blocks homed there).
+"""
+
+from repro.protocols.base import NodeCtrl
+from repro.protocols.wi import WINodeCtrl
+from repro.protocols.update import PUNodeCtrl, CUNodeCtrl
+from repro.protocols.hybrid import HybridNodeCtrl
+
+from repro.config import Protocol
+
+_CTRL_CLASSES = {
+    Protocol.WI: WINodeCtrl,
+    Protocol.PU: PUNodeCtrl,
+    Protocol.CU: CUNodeCtrl,
+    Protocol.HYBRID: HybridNodeCtrl,
+}
+
+
+def make_controller(machine, node: int) -> NodeCtrl:
+    """Instantiate the controller class for the machine's protocol."""
+    return _CTRL_CLASSES[machine.config.protocol](machine, node)
+
+
+__all__ = ["NodeCtrl", "WINodeCtrl", "PUNodeCtrl", "CUNodeCtrl",
+           "HybridNodeCtrl", "make_controller"]

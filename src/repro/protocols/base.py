@@ -1,0 +1,405 @@
+"""Shared machinery of the per-node coherence controllers.
+
+A :class:`NodeCtrl` plays two roles:
+
+* **cache side** -- services its processor's reads/writes/atomics,
+  drains the write buffer (one write transaction in flight, which also
+  provides the per-processor write-ordering the queue-based locks rely
+  on), tracks outstanding acks for release consistency, and reacts to
+  incoming invalidations/updates/forward requests;
+* **home side** -- owns the directory entries and the memory module for
+  the blocks homed at this node, and serializes transactions per block.
+
+Protocol subclasses implement the message handlers and the write-retire
+transaction; everything protocol-independent (reference bookkeeping,
+fences, flushes, eviction plumbing, the writeback-race continuation
+mechanism) lives here.
+
+Ordering note: the network fabric delivers messages to a given node in
+global send order (a FIFO-NIC assumption, see
+:mod:`repro.network.fabric`).  Together with home-side per-block
+serialization this rules out stale-invalidation and fill/invalidate
+races; the sequence-number guards on installs are kept as defensive
+checks and to allow swapping in a non-FIFO fabric.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.isa.ops import apply_atomic, merge_word
+from repro.memsys import (
+    Cache, CacheState, Directory, MemoryModule, WriteBuffer,
+)
+from repro.memsys.cache import EvictReason
+from repro.memsys.writebuffer import PendingWrite
+from repro.network.messages import Message, MsgType
+
+
+class PendingFill:
+    """Bookkeeping for the (single) outstanding read miss."""
+
+    __slots__ = ("block", "word", "cb", "inv_seq")
+
+    def __init__(self, block: int, word: int, cb: Callable[[Any], None]):
+        self.block = block
+        self.word = word
+        self.cb = cb
+        self.inv_seq: Optional[int] = None
+
+
+class NodeCtrl:
+    """Base class for WI / PU / CU node controllers."""
+
+    #: cache states in which a local read hits (protocol-specific)
+    READABLE_STATES: tuple = ()
+
+    def __init__(self, machine, node: int) -> None:
+        self.machine = machine
+        self.sim = machine.sim
+        self.config = machine.config
+        self.net = machine.net
+        self.node = node
+
+        cfg = self.config
+        self.cache = Cache(cfg.num_cache_lines, cfg.block_size_bytes,
+                           cfg.cache_associativity)
+        self.wb = WriteBuffer(cfg.write_buffer_entries)
+        self.mem = MemoryModule(self.sim, cfg, node)
+        self.directory = Directory(node)
+
+        self.miss_cls = machine.miss_classifier
+        self.upd_cls = machine.update_classifier
+        self.tracer = machine.tracer
+
+        #: invalidation/update acks not yet collected (release consistency)
+        self.outstanding_acks = 0
+        self._retiring = False
+        self._fence_waiters: List[Callable[[], None]] = []
+        self._drain_waiters: List[Callable[[], None]] = []
+        self._pending_fill: Optional[PendingFill] = None
+        #: outstanding atomic operation (at most one; WB is drained first)
+        self._pending_atomic: Optional[dict] = None
+        #: home side: in-progress transaction per block, re-dispatched
+        #: after a writeback race resolves (FWD_NACK path)
+        self._txn: Dict[int, Tuple[Callable[[Message], None], Message]] = {}
+
+        self.net.register(node, self.receive)
+        self._handlers = self._build_handlers()
+
+    # ------------------------------------------------------------------
+    # subclass wiring
+    # ------------------------------------------------------------------
+
+    #: MsgType -> unbound method name, defined by subclasses
+    HANDLERS: Dict[MsgType, str] = {}
+
+    def _build_handlers(self) -> Dict[MsgType, Callable[[Message], None]]:
+        out = {}
+        for mtype, name in self.HANDLERS.items():
+            out[mtype] = getattr(self, name)
+        return out
+
+    def receive(self, msg: Message) -> None:
+        handler = self._handlers.get(msg.mtype)
+        if handler is None:
+            raise RuntimeError(
+                f"{type(self).__name__} has no handler for {msg.mtype}")
+        if self.tracer.enabled:
+            self.tracer.record(self.sim.now, "msg", self.node,
+                               msg.mtype.value, src=msg.src, blk=msg.block)
+        handler(msg)
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+
+    def home_of(self, block: int) -> int:
+        return self.config.home_of_block(block)
+
+    def _send(self, mtype: MsgType, dst: int, block: int, **kw: Any) -> None:
+        self.net.send(Message(mtype, self.node, dst, block, **kw))
+
+    def _ref(self, block: int, word: int) -> None:
+        """Record a shared reference for both classifiers and reset the
+        competitive-update counter."""
+        self.miss_cls.record_reference(self.node, block, word)
+        self.upd_cls.record_reference(self.node, block, word)
+        line = self.cache.lookup(block)
+        if line is not None:
+            line.update_count = 0
+
+    # ------------------------------------------------------------------
+    # processor interface: read
+    # ------------------------------------------------------------------
+
+    def local_view(self, block: int, word: int):
+        """The locally visible value of ``word``: queued writes composed
+        over the cached copy (reads bypass + forward from the write
+        buffer).  Returns ``(hit, value)``; ``hit`` is False when
+        neither the write buffer nor the cache can supply it.
+
+        For sub-word stores the base value is the newest queued
+        full-word write, else the cached word (if the block still lacks
+        a local base, uninitialized-memory zero is assumed -- exact for
+        programs that do not read words they partially wrote before the
+        store retires, which holds for all shipped workloads).
+        """
+        pending = self.wb.writes_to(word)
+        base = None
+        start = 0
+        for i in range(len(pending) - 1, -1, -1):
+            if pending[i].mask is None:
+                base = pending[i].value
+                start = i + 1
+                break
+        if base is None:
+            line = self.cache.lookup(block)
+            if line is not None and line.state in self.READABLE_STATES:
+                base = line.data.get(word, 0)
+            elif not pending:
+                return False, None
+            else:
+                base = 0
+        value = base
+        for w in pending[start:]:
+            value = merge_word(value, w.value, w.mask)
+        return True, value
+
+    def read(self, addr: int, cb: Callable[[Any], None]) -> None:
+        cfg = self.config
+        word = cfg.word_of(addr)
+        block = cfg.block_of(addr)
+        self._ref(block, word)
+
+        hit, value = self.local_view(block, word)
+        if hit:
+            self.sim.schedule(1, cb, value)
+            return
+
+        if self._pending_fill is not None:
+            raise RuntimeError(
+                f"node {self.node}: second outstanding read (blocking "
+                f"processor invariant violated)")
+        self.miss_cls.record_miss(self.node, block, word)
+        self._pending_fill = PendingFill(block, word, cb)
+        self._send(MsgType.READ_REQ, self.home_of(block), block,
+                   requester=self.node)
+
+    def _complete_fill(self, msg: Message, state: CacheState) -> None:
+        """Install a fill and resume the stalled read."""
+        pend = self._pending_fill
+        if pend is None or pend.block != msg.block:
+            raise RuntimeError(
+                f"node {self.node}: unexpected fill for blk {msg.block}")
+        self._pending_fill = None
+        data = msg.data or {}
+        evicted = self.cache.install(msg.block, state, data, msg.seq)
+        if evicted is not None:
+            self._evict(evicted.block, evicted.state, evicted.data,
+                        EvictReason.REPLACEMENT)
+        value = data.get(pend.word, 0)
+        # compose any still-buffered own stores over the fill
+        for w in self.wb.writes_to(pend.word):
+            value = merge_word(value, w.value, w.mask)
+        # re-register the missing reference now that the write that
+        # invalidated us has certainly been logged (true/false sharing
+        # resolution); does not inflate the reference count
+        self.miss_cls.record_reference(self.node, msg.block, pend.word,
+                                       count=False)
+        self.upd_cls.record_reference(self.node, msg.block, pend.word)
+        if pend.inv_seq is not None and pend.inv_seq >= msg.seq:
+            # an invalidation overtook the fill: consume the value once,
+            # then drop the block
+            self.cache.invalidate(msg.block)
+        pend.cb(value)
+
+    # ------------------------------------------------------------------
+    # processor interface: write
+    # ------------------------------------------------------------------
+
+    def write(self, addr: int, value: Any, cb: Callable[[Any], None],
+              mask: Optional[int] = None) -> None:
+        cfg = self.config
+        word = cfg.word_of(addr)
+        block = cfg.block_of(addr)
+        self._ref(block, word)
+        pw = PendingWrite(addr, word, block, value, mask)
+        if self.wb.full:
+            self.wb.on_space(lambda: self._enqueue_write(pw, cb))
+        else:
+            self._enqueue_write(pw, cb)
+
+    def _enqueue_write(self, pw: PendingWrite,
+                       cb: Callable[[Any], None]) -> None:
+        self.wb.enqueue(pw)
+        if self.config.sequential_consistency:
+            # SC ablation: the processor stalls until the write has
+            # globally performed (buffer drained + all acks collected)
+            self._maybe_retire()
+            self.fence(lambda: cb(None))
+        else:
+            self.sim.schedule(1, cb, None)
+            self._maybe_retire()
+
+    def _maybe_retire(self) -> None:
+        if self._retiring:
+            return
+        head = self.wb.head()
+        if head is None:
+            return
+        self._retiring = True
+        self._retire(head)
+
+    def _retire(self, pw: PendingWrite) -> None:
+        raise NotImplementedError
+
+    def _retire_done(self) -> None:
+        self.wb.pop()
+        self._retiring = False
+        self._check_fence()
+        if self.wb.empty and self._drain_waiters:
+            waiters, self._drain_waiters = self._drain_waiters, []
+            for w in waiters:
+                w()
+        self._maybe_retire()
+
+    # ------------------------------------------------------------------
+    # processor interface: fences / drains
+    # ------------------------------------------------------------------
+
+    def fence(self, cb: Callable[[], None]) -> None:
+        """Release point: write buffer drained + all acks collected."""
+        if self._fence_ok():
+            self.sim.schedule(1, cb)
+        else:
+            self._fence_waiters.append(cb)
+
+    def _fence_ok(self) -> bool:
+        return (self.wb.empty and not self._retiring
+                and self.outstanding_acks == 0)
+
+    def _check_fence(self) -> None:
+        if self._fence_waiters and self._fence_ok():
+            waiters, self._fence_waiters = self._fence_waiters, []
+            for cb in waiters:
+                self.sim.schedule(1, cb)
+
+    def _ack_collected(self, n: int = 1) -> None:
+        # May go transiently negative: sharers ack to the writer as soon
+        # as they see the invalidation/update, which can beat the home's
+        # reply carrying the expected-ack count.  Fences are still safe:
+        # they also require the write buffer (and any atomic) to be
+        # idle, at which point every expected-ack count has been added.
+        self.outstanding_acks -= n
+        self._check_fence()
+
+    def _when_drained(self, cb: Callable[[], None]) -> None:
+        """Run ``cb`` once the write buffer is empty and no write
+        transaction is in flight (atomics force this)."""
+        if self.wb.empty and not self._retiring:
+            cb()
+        else:
+            self._drain_waiters.append(cb)
+
+    # ------------------------------------------------------------------
+    # processor interface: atomics (protocol-specific execution)
+    # ------------------------------------------------------------------
+
+    def atomic(self, opname: str, addr: int, operand: Any,
+               cb: Callable[[Any], None]) -> None:
+        cfg = self.config
+        word = cfg.word_of(addr)
+        block = cfg.block_of(addr)
+        self._when_drained(
+            lambda: self._start_atomic(opname, block, word, operand, cb))
+
+    def _start_atomic(self, opname: str, block: int, word: int,
+                      operand: Any, cb: Callable[[Any], None]) -> None:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # processor interface: flushes
+    # ------------------------------------------------------------------
+
+    def flush_block(self, addr: int, cb: Callable[[], None]) -> None:
+        block = self.config.block_of(addr)
+        if block in self.wb.pending_blocks():
+            # a write to this block is still buffered; a hardware flush
+            # drains it first (the update-conscious MCS lock flushes a
+            # queue node immediately after writing to it)
+            self._when_drained(lambda: self.flush_block(addr, cb))
+            return
+        line = self.cache.lookup(block)
+        if line is None:
+            self.sim.schedule(1, cb)
+            return
+        self.cache.invalidate(block)
+        self._evict(block, line.state, line.data, EvictReason.FLUSH)
+        self.sim.schedule(1, cb)
+
+    def flush_all(self, cb: Callable[[], None]) -> None:
+        blocks = self.cache.resident_blocks()
+        for block in blocks:
+            line = self.cache.lookup(block)
+            self.cache.invalidate(block)
+            self._evict(block, line.state, line.data, EvictReason.FLUSH)
+        self.sim.schedule(max(1, len(blocks)), cb)
+
+    def _evict(self, block: int, state: CacheState, data: Dict[int, Any],
+               reason: EvictReason) -> None:
+        """Classification + protocol plumbing for a block leaving the
+        cache (replacement or flush)."""
+        self.miss_cls.record_leave(self.node, block, reason)
+        self.upd_cls.record_block_gone(self.node, block)
+        self._evict_protocol(block, state, data)
+
+    def _evict_protocol(self, block: int, state: CacheState,
+                        data: Dict[int, Any]) -> None:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # home side: transaction plumbing
+    # ------------------------------------------------------------------
+
+    def _begin_txn(self, msg: Message,
+                   body: Callable[[Message], None]) -> None:
+        """Acquire the block's directory entry, remember the transaction
+        (for writeback-race re-dispatch) and run its body."""
+        def start() -> None:
+            self._txn[msg.block] = (body, msg)
+            body(msg)
+        self.directory.acquire(msg.block, start)
+
+    def _end_txn(self, block: int) -> None:
+        self._txn.pop(block, None)
+        self.directory.release(block)
+
+    def _retry_txn(self, block: int) -> None:
+        """Re-dispatch the in-flight transaction after a writeback race
+        resolved (the directory entry is no longer DIRTY)."""
+        body, msg = self._txn[block]
+        body(msg)
+
+    def on_fwd_nack(self, msg: Message) -> None:
+        """A forward/recall raced with the ex-owner's writeback.  By the
+        FIFO delivery guarantee the writeback has already been processed,
+        so the transaction can simply be retried."""
+        self._retry_txn(msg.block)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def quiesced(self) -> bool:
+        """True when this node has no buffered or in-flight work."""
+        return (self.wb.empty and not self._retiring
+                and self.outstanding_acks == 0
+                and self._pending_fill is None
+                and not self._txn)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<{type(self).__name__} node={self.node}>"
+
+
+ATOMIC_APPLY = apply_atomic

@@ -1,0 +1,388 @@
+"""Update-based protocols: pure update (PU) and competitive update (CU).
+
+PU (paper section 3.1): a processor writes through its cache to the home
+node.  The home applies the write to memory and sends update messages to
+the other processors sharing the block, plus a message to the writer
+with the number of acknowledgements to expect; sharers update their
+caches and ack *to the writer*.  The writer only stalls waiting for acks
+at release points (release consistency).
+
+PU optimizations implemented:
+
+1. **retain-private**: when the home receives an update for a block
+   cached only by the updating processor, the writer is told to retain
+   future updates locally (the block is effectively private; the cache
+   line moves to RETAINED and writes stop generating traffic until a
+   remote read recalls the block);
+2. **fork flush**: the runtime flushes the parent processor's cache when
+   a parallel process is created (see
+   :meth:`repro.runtime.machine.Machine.spawn`).
+
+CU adds a per-cached-block counter of updates received since the last
+local reference; when it reaches the threshold (4 in the paper) the node
+self-invalidates the block and sends a DROP_NOTICE asking the home to
+stop sending updates.  Local references reset the counter.
+
+Atomic instructions execute *at the home memory*: the requester sends an
+ATOMIC_REQ, the home performs the operation, replies with the result,
+and propagates the new value to all sharers (whose acks are collected by
+the requester under release consistency).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+from repro.isa.ops import apply_atomic, merge_word
+from repro.memsys.cache import CacheLine, CacheState, EvictReason
+from repro.memsys.directory import DirState
+from repro.network.messages import Message, MsgType
+from repro.protocols.base import NodeCtrl
+
+
+class PUNodeCtrl(NodeCtrl):
+    """Per-node controller for the pure-update protocol."""
+
+    READABLE_STATES = (CacheState.VALID, CacheState.RETAINED)
+
+    HANDLERS = {
+        # home side
+        MsgType.READ_REQ: "_home_read",
+        MsgType.UPDATE: "_home_update",
+        MsgType.ATOMIC_REQ: "_home_atomic",
+        MsgType.RECALL_REPLY: "_home_recall_reply",
+        MsgType.WRITEBACK: "_home_writeback",
+        MsgType.DROP_NOTICE: "_home_drop_notice",
+        MsgType.FWD_NACK: "on_fwd_nack",
+        # cache side
+        MsgType.READ_REPLY: "_cache_read_reply",
+        MsgType.UPD_PROP: "_cache_upd_prop",
+        MsgType.UPD_ACK: "_cache_upd_ack",
+        MsgType.WRITER_ACK: "_cache_writer_ack",
+        MsgType.RECALL: "_cache_recall",
+        MsgType.ATOMIC_REPLY: "_cache_atomic_reply",
+    }
+
+    # ==================================================================
+    # cache side: write retirement (write-through with one transaction
+    # in flight, which also gives per-processor write ordering)
+    # ==================================================================
+
+    def _retire(self, pw) -> None:
+        line = self.cache.lookup(pw.block)
+        if line is None:
+            # write-allocate: fetch the block, then write through.  This
+            # is what makes MCS competitors end up caching each other's
+            # queue nodes (the sharing pathology of section 4.1).
+            self.miss_cls.record_miss(self.node, pw.block, pw.word)
+            self._send(MsgType.READ_REQ, self.home_of(pw.block), pw.block,
+                       requester=self.node, write_id=pw.write_id)
+            return  # resumes in _cache_read_reply with the write_id echoed
+        if line.state is CacheState.RETAINED:
+            # effectively private: keep the write local
+            merged = merge_word(line.data.get(pw.word, 0), pw.value,
+                                pw.mask)
+            self.cache.write_word(pw.block, pw.word, merged)
+            line.dirty_words[pw.word] = merged
+            self.miss_cls.record_write(pw.block, pw.word, self.node)
+            self.sim.schedule(1, self._retire_done)
+            return
+        # write-through updates our own copy immediately
+        merged = merge_word(line.data.get(pw.word, 0), pw.value, pw.mask)
+        self.cache.write_word(pw.block, pw.word, merged)
+        self._send(MsgType.UPDATE, self.home_of(pw.block), pw.block,
+                   word=pw.word, value=pw.value, mask=pw.mask,
+                   write_id=pw.write_id)
+        # completes on WRITER_ACK
+
+    def _cache_writer_ack(self, msg: Message) -> None:
+        head = self.wb.head()
+        if head is None or head.write_id != msg.write_id:
+            raise RuntimeError(
+                f"node {self.node}: WRITER_ACK for write "
+                f"{msg.write_id} does not match retiring write {head}")
+        self.outstanding_acks += msg.nacks
+        if msg.retain:
+            line = self.cache.lookup(msg.block)
+            if line is not None:
+                line.state = CacheState.RETAINED
+            else:
+                # we lost the copy before the grant arrived: cancel it
+                self._send(MsgType.DROP_NOTICE, self.home_of(msg.block),
+                           msg.block)
+        self._retire_done()
+
+    def _cache_upd_ack(self, msg: Message) -> None:
+        self._ack_collected()
+
+    # ==================================================================
+    # cache side: incoming updates
+    # ==================================================================
+
+    def _cache_upd_prop(self, msg: Message) -> None:
+        line = self.cache.lookup(msg.block)
+        if line is None:
+            # raced with our drop/flush/eviction; still ack the writer
+            self.upd_cls.record_stale_update(self.node, msg.block)
+            self._send(MsgType.UPD_ACK, msg.requester, msg.block)
+            return
+        if self._drop_check(line, msg):
+            self._send(MsgType.UPD_ACK, msg.requester, msg.block)
+            return
+        self.cache.write_word(msg.block, msg.word, msg.value)
+        self.upd_cls.record_update(self.node, msg.block, msg.word)
+        self._send(MsgType.UPD_ACK, msg.requester, msg.block)
+
+    def _drop_check(self, line: CacheLine, msg: Message) -> bool:
+        """Competitive-update hook; pure update never drops."""
+        return False
+
+    # ==================================================================
+    # cache side: read fills / recalls
+    # ==================================================================
+
+    def _cache_read_reply(self, msg: Message) -> None:
+        if msg.write_id is not None:
+            # write-allocate fill: install, then write through
+            pw = self.wb.head()
+            if pw is None or pw.write_id != msg.write_id:
+                raise RuntimeError(
+                    f"node {self.node}: allocate fill for write "
+                    f"{msg.write_id} does not match retiring write {pw}")
+            evicted = self.cache.install(msg.block, CacheState.VALID,
+                                         msg.data or {}, msg.seq)
+            if evicted is not None:
+                self._evict(evicted.block, evicted.state, evicted.data,
+                            EvictReason.REPLACEMENT)
+            line = self.cache.lookup(pw.block)
+            merged = merge_word(line.data.get(pw.word, 0), pw.value,
+                                pw.mask)
+            self.cache.write_word(pw.block, pw.word, merged)
+            self._send(MsgType.UPDATE, self.home_of(pw.block), pw.block,
+                       word=pw.word, value=pw.value, mask=pw.mask,
+                       write_id=pw.write_id)
+            return
+        self._complete_fill(msg, CacheState.VALID)
+
+    def _cache_recall(self, msg: Message) -> None:
+        """Home needs our retained (dirty) copy back."""
+        line = self.cache.lookup(msg.block)
+        if line is not None:
+            data = dict(line.data)
+            line.state = CacheState.VALID
+            line.dirty_words.clear()
+            self._send(MsgType.RECALL_REPLY, msg.src, msg.block, data=data)
+        else:
+            # evicted: our WRITEBACK has already reached the home (FIFO)
+            self._send(MsgType.FWD_NACK, msg.src, msg.block)
+
+    # ==================================================================
+    # cache side: atomics (performed at the home memory)
+    # ==================================================================
+
+    def _start_atomic(self, opname: str, block: int, word: int,
+                      operand: Any, cb: Callable[[Any], None]) -> None:
+        # a memory-side atomic is a shared reference, but it does NOT
+        # consult the local cached copy: it neither makes previously
+        # received updates useful nor counts as the kind of reference
+        # that justifies keeping the block up to date
+        self.miss_cls.record_reference(self.node, block, word)
+        self._pending_atomic = {
+            "opname": opname, "block": block, "word": word, "cb": cb,
+        }
+        self._send(MsgType.ATOMIC_REQ, self.home_of(block), block,
+                   requester=self.node, word=word, op=opname,
+                   operand=operand)
+
+    def _cache_atomic_reply(self, msg: Message) -> None:
+        pa = self._pending_atomic
+        if pa is None or pa["block"] != msg.block:
+            raise RuntimeError(
+                f"node {self.node}: unexpected ATOMIC_REPLY for "
+                f"blk {msg.block}")
+        self._pending_atomic = None
+        line = self.cache.lookup(msg.block)
+        if line is not None:
+            # our own copy gets the new value with the reply
+            self.cache.write_word(msg.block, msg.word, msg.value)
+            line.update_count = 0
+        self.outstanding_acks += msg.nacks
+        self.sim.schedule(1, pa["cb"], msg.result)
+
+    # ==================================================================
+    # cache side: evictions
+    # ==================================================================
+
+    def _evict_protocol(self, block: int, state: CacheState,
+                        data: Dict[int, Any]) -> None:
+        if state is CacheState.RETAINED:
+            self._send(MsgType.WRITEBACK, self.home_of(block), block,
+                       data=dict(data))
+        else:
+            # stop receiving updates for a block we no longer hold
+            self._send(MsgType.DROP_NOTICE, self.home_of(block), block)
+
+    # ==================================================================
+    # home side
+    # ==================================================================
+
+    def _home_read(self, msg: Message) -> None:
+        self._begin_txn(msg, self._read_txn)
+
+    def _read_txn(self, msg: Message) -> None:
+        ent = self.directory.entry(msg.block)
+        if ent.state is DirState.DIRTY:
+            self._send(MsgType.RECALL, ent.owner, msg.block)
+            return  # resumes on RECALL_REPLY (or FWD_NACK retry)
+        seq = ent.next_seq()
+        t = self.mem.reserve(self.mem.block_access_cycles())
+
+        def finish() -> None:
+            data = self.mem.read_block(msg.block)
+            self._send(MsgType.READ_REPLY, msg.requester, msg.block,
+                       data=data, seq=seq, write_id=msg.write_id)
+            ent.state = DirState.SHARED
+            ent.sharers.add(msg.requester)
+            self._end_txn(msg.block)
+
+        self.sim.at(t, finish)
+
+    def _home_update(self, msg: Message) -> None:
+        self._begin_txn(msg, self._update_txn)
+
+    def _update_txn(self, msg: Message) -> None:
+        ent = self.directory.entry(msg.block)
+        if ent.state is DirState.DIRTY:
+            if ent.owner == msg.src:
+                raise RuntimeError(
+                    f"home {self.node}: write-through from the retaining "
+                    f"owner {msg.src} for blk {msg.block}")
+            self._send(MsgType.RECALL, ent.owner, msg.block)
+            return
+        t = self.mem.reserve(self.mem.word_access_cycles())
+
+        def finish() -> None:
+            merged = merge_word(self.mem.read_word(msg.word), msg.value,
+                                msg.mask)
+            self.mem.write_word(msg.word, merged)
+            self.miss_cls.record_write(msg.block, msg.word, msg.src)
+            receivers = sorted(ent.sharers - {msg.src})
+            if receivers:
+                issue_done = self._issue_props(msg.block, msg.word,
+                                               merged, msg.src,
+                                               receivers)
+                def ack() -> None:
+                    self._send(MsgType.WRITER_ACK, msg.src, msg.block,
+                               nacks=len(receivers),
+                               write_id=msg.write_id)
+                    self._end_txn(msg.block)
+                self.sim.at(issue_done, ack)
+            else:
+                retain = (self.config.retain_private
+                          and msg.src in ent.sharers)
+                if retain:
+                    ent.state = DirState.DIRTY
+                    ent.owner = msg.src
+                    ent.sharers.clear()
+                self._send(MsgType.WRITER_ACK, msg.src, msg.block,
+                           nacks=0, retain=retain, write_id=msg.write_id)
+                self._end_txn(msg.block)
+
+        self.sim.at(t, finish)
+
+    def _home_atomic(self, msg: Message) -> None:
+        self._begin_txn(msg, self._atomic_txn)
+
+    def _atomic_txn(self, msg: Message) -> None:
+        ent = self.directory.entry(msg.block)
+        if ent.state is DirState.DIRTY:
+            self._send(MsgType.RECALL, ent.owner, msg.block)
+            return
+        t = self.mem.reserve(self.mem.word_access_cycles())
+
+        def finish() -> None:
+            old = self.mem.read_word(msg.word)
+            new, result = apply_atomic(msg.op, old, msg.operand)
+            self.mem.write_word(msg.word, new)
+            self.miss_cls.record_write(msg.block, msg.word, msg.requester)
+            receivers = sorted(ent.sharers - {msg.requester})
+            # the reply goes out right away; the propagation loop
+            # occupies the directory controller afterwards
+            self._send(MsgType.ATOMIC_REPLY, msg.requester, msg.block,
+                       word=msg.word, value=new, result=result,
+                       nacks=len(receivers))
+            issue_done = self._issue_props(msg.block, msg.word, new,
+                                           msg.requester, receivers)
+            self.sim.at(issue_done, self._end_txn, msg.block)
+
+        self.sim.at(t, finish)
+
+    def _issue_props(self, block: int, word: int, value, writer: int,
+                     receivers) -> int:
+        """Issue one update propagation per sharer at the directory
+        controller's iteration rate; returns the absolute completion
+        time of the issue loop."""
+        c = self.config.prop_issue_cycles
+        for k, s in enumerate(receivers):
+            self.sim.schedule(
+                k * c,
+                lambda s=s: self._send(MsgType.UPD_PROP, s, block,
+                                       word=word, value=value,
+                                       requester=writer))
+        return self.sim.now + len(receivers) * c
+
+    def _home_recall_reply(self, msg: Message) -> None:
+        """The retaining owner flushed its dirty copy back; resume the
+        stalled transaction."""
+        ent = self.directory.entry(msg.block)
+        t = self.mem.reserve(self.mem.block_access_cycles())
+
+        def finish() -> None:
+            self.mem.write_block(msg.block, msg.data or {})
+            ent.state = DirState.SHARED
+            ent.owner = -1
+            ent.sharers.add(msg.src)  # the ex-owner remains a sharer
+            self._retry_txn(msg.block)
+
+        self.sim.at(t, finish)
+
+    def _home_writeback(self, msg: Message) -> None:
+        """Eviction/flush of a retained block; processed immediately so a
+        racing recall's retry observes the directory already updated."""
+        ent = self.directory.entry(msg.block)
+        if ent.state is DirState.DIRTY and ent.owner == msg.src:
+            ent.state = DirState.UNOWNED
+            ent.owner = -1
+        ent.sharers.discard(msg.src)
+        t = self.mem.reserve(self.mem.block_access_cycles())
+        data = msg.data or {}
+        self.sim.at(t, lambda: self.mem.write_block(msg.block, data))
+
+    def _home_drop_notice(self, msg: Message) -> None:
+        """A sharer dropped/flushed its copy (or cancels a retain grant
+        that arrived after it lost the line)."""
+        ent = self.directory.entry(msg.block)
+        ent.sharers.discard(msg.src)
+        if ent.state is DirState.DIRTY and ent.owner == msg.src:
+            # retain-cancel: memory is current (the owner never wrote
+            # locally in RETAINED state)
+            ent.state = DirState.UNOWNED
+            ent.owner = -1
+        elif ent.state is DirState.SHARED and not ent.sharers:
+            ent.state = DirState.UNOWNED
+
+
+class CUNodeCtrl(PUNodeCtrl):
+    """Competitive update: PU plus threshold-based self-invalidation."""
+
+    def _drop_check(self, line: CacheLine, msg: Message) -> bool:
+        line.update_count += 1
+        if line.update_count < self.config.update_threshold:
+            return False
+        # threshold reached: this update is a *drop* update; the block
+        # self-invalidates and the home is told to stop updating us
+        self.upd_cls.record_drop_update(self.node, msg.block, msg.word)
+        self.miss_cls.record_leave(self.node, msg.block, EvictReason.DROP)
+        self.cache.invalidate(msg.block)
+        self._send(MsgType.DROP_NOTICE, self.home_of(msg.block), msg.block)
+        return True

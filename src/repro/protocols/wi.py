@@ -1,0 +1,369 @@
+"""Write-invalidate protocol (DASH-style, release consistency).
+
+Transactions, with the home serializing per block:
+
+* **read miss** -- READ_REQ to home; served from memory if clean, or
+  forwarded to the dirty owner (FETCH_FWD), who sends the data to the
+  requester (OWNER_DATA) and a sharing writeback to the home
+  (SHARING_WB), demoting itself to SHARED.
+* **write to SHARED block** -- UPGRADE_REQ (the paper's *exclusive
+  request* transaction); the home invalidates the other sharers, whose
+  acks go directly to the writer (release consistency: the writer only
+  waits for them at release/fence points).
+* **write miss** -- RDEX_REQ; like a read miss but invalidating; a dirty
+  owner transfers ownership to the requester (OWNER_DATA_EX +
+  DIRTY_TRANSFER to the home).
+* **atomic** -- executed in the cache controller after obtaining an
+  exclusive copy via the same transactions (paper section 3.1).
+* **M eviction** -- WRITEBACK to home.  S evictions are silent (DASH
+  keeps possibly-stale full-map sharer bits; invalidations to
+  non-caching nodes are acked harmlessly).
+
+A FETCH/RDEX forward that races with the ex-owner's in-flight writeback
+is FWD_NACKed; the FIFO delivery guarantee means the writeback has
+already landed at the home by then, so the transaction simply retries
+and is served from (now current) memory.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+from repro.isa.ops import apply_atomic, merge_word
+from repro.memsys.cache import CacheState, EvictReason
+from repro.memsys.directory import DirState
+from repro.network.messages import Message, MsgType
+from repro.protocols.base import NodeCtrl
+
+
+class WINodeCtrl(NodeCtrl):
+    """Per-node controller for the write-invalidate protocol."""
+
+    READABLE_STATES = (CacheState.SHARED, CacheState.MODIFIED)
+
+    HANDLERS = {
+        # home side
+        MsgType.READ_REQ: "_home_read",
+        MsgType.RDEX_REQ: "_home_rdex",
+        MsgType.UPGRADE_REQ: "_home_upgrade",
+        MsgType.SHARING_WB: "_home_sharing_wb",
+        MsgType.DIRTY_TRANSFER: "_home_dirty_transfer",
+        MsgType.WRITEBACK: "_home_writeback",
+        MsgType.FWD_NACK: "on_fwd_nack",
+        # cache side
+        MsgType.READ_REPLY: "_cache_fill_shared",
+        MsgType.OWNER_DATA: "_cache_fill_shared",
+        MsgType.RDEX_REPLY: "_cache_fill_exclusive",
+        MsgType.OWNER_DATA_EX: "_cache_fill_exclusive",
+        MsgType.UPGRADE_REPLY: "_cache_upgrade_reply",
+        MsgType.INV: "_cache_inv",
+        MsgType.INV_ACK: "_cache_inv_ack",
+        MsgType.FETCH_FWD: "_cache_fetch_fwd",
+        MsgType.FETCH_INV_FWD: "_cache_fetch_inv_fwd",
+    }
+
+    # ==================================================================
+    # cache side: write retirement
+    # ==================================================================
+
+    def _apply_store(self, line, pw) -> None:
+        """Apply a (possibly sub-word) store to an exclusive copy."""
+        merged = merge_word(line.data.get(pw.word, 0), pw.value, pw.mask)
+        self.cache.write_word(pw.block, pw.word, merged)
+        self.miss_cls.record_write(pw.block, pw.word, self.node)
+
+    def _retire(self, pw) -> None:
+        line = self.cache.lookup(pw.block)
+        if line is not None and line.state is CacheState.MODIFIED:
+            # exclusive: write locally, no traffic
+            self._apply_store(line, pw)
+            self.sim.schedule(1, self._retire_done)
+        elif line is not None and line.state is CacheState.SHARED:
+            # the paper's "exclusive request" transaction
+            self.miss_cls.record_upgrade(self.node, pw.block)
+            self._send(MsgType.UPGRADE_REQ, self.home_of(pw.block),
+                       pw.block, requester=self.node, word=pw.word)
+        else:
+            # write miss
+            self.miss_cls.record_miss(self.node, pw.block, pw.word)
+            self._send(MsgType.RDEX_REQ, self.home_of(pw.block),
+                       pw.block, requester=self.node, word=pw.word)
+
+    def _cache_upgrade_reply(self, msg: Message) -> None:
+        if self._pending_atomic is not None and \
+                self._pending_atomic["block"] == msg.block:
+            self._finish_atomic(msg, needs_install=False)
+            return
+        pw = self.wb.head()
+        line = self.cache.lookup(msg.block)
+        if line is None:
+            # conflict-evicted while the upgrade was in flight: the home
+            # granted ownership, so fetch the data with a fresh RDEX
+            self._send(MsgType.RDEX_REQ, self.home_of(msg.block),
+                       msg.block, requester=self.node, word=pw.word)
+            return
+        line.state = CacheState.MODIFIED
+        line.seq = msg.seq
+        self._apply_store(line, pw)
+        self.outstanding_acks += msg.nacks
+        self._retire_done()
+
+    def _cache_fill_exclusive(self, msg: Message) -> None:
+        if self._pending_atomic is not None and \
+                self._pending_atomic["block"] == msg.block:
+            self._finish_atomic(msg, needs_install=True)
+            return
+        pw = self.wb.head()
+        evicted = self.cache.install(msg.block, CacheState.MODIFIED,
+                                     msg.data or {}, msg.seq)
+        if evicted is not None:
+            self._evict(evicted.block, evicted.state, evicted.data,
+                        EvictReason.REPLACEMENT)
+        self._apply_store(self.cache.lookup(msg.block), pw)
+        self.outstanding_acks += msg.nacks
+        self._retire_done()
+
+    # ==================================================================
+    # cache side: read fills
+    # ==================================================================
+
+    def _cache_fill_shared(self, msg: Message) -> None:
+        self._complete_fill(msg, CacheState.SHARED)
+
+    # ==================================================================
+    # cache side: atomics (computed in the cache controller)
+    # ==================================================================
+
+    def _start_atomic(self, opname: str, block: int, word: int,
+                      operand: Any, cb: Callable[[Any], None]) -> None:
+        self._ref(block, word)
+        line = self.cache.lookup(block)
+        if line is not None and line.state is CacheState.MODIFIED:
+            old = line.data.get(word, 0)
+            new, result = apply_atomic(opname, old, operand)
+            self.cache.write_word(block, word, new)
+            self.miss_cls.record_write(block, word, self.node)
+            self.sim.schedule(1, cb, result)
+            return
+        self._pending_atomic = {
+            "opname": opname, "block": block, "word": word,
+            "operand": operand, "cb": cb,
+        }
+        if line is not None and line.state is CacheState.SHARED:
+            self.miss_cls.record_upgrade(self.node, block)
+            self._send(MsgType.UPGRADE_REQ, self.home_of(block), block,
+                       requester=self.node, word=word)
+        else:
+            self.miss_cls.record_miss(self.node, block, word)
+            self._send(MsgType.RDEX_REQ, self.home_of(block), block,
+                       requester=self.node, word=word)
+
+    def _finish_atomic(self, msg: Message, needs_install: bool) -> None:
+        pa = self._pending_atomic
+        if needs_install:
+            evicted = self.cache.install(msg.block, CacheState.MODIFIED,
+                                         msg.data or {}, msg.seq)
+            if evicted is not None:
+                self._evict(evicted.block, evicted.state, evicted.data,
+                            EvictReason.REPLACEMENT)
+        else:
+            line = self.cache.lookup(msg.block)
+            if line is None:
+                # evicted while the upgrade was in flight: refetch
+                self._send(MsgType.RDEX_REQ, self.home_of(msg.block),
+                           msg.block, requester=self.node,
+                           word=pa["word"])
+                return
+            line.state = CacheState.MODIFIED
+            line.seq = msg.seq
+        self._pending_atomic = None
+        old = self.cache.read_word(msg.block, pa["word"])
+        new, result = apply_atomic(pa["opname"], old, pa["operand"])
+        self.cache.write_word(msg.block, pa["word"], new)
+        self.miss_cls.record_write(msg.block, pa["word"], self.node)
+        self.outstanding_acks += msg.nacks
+        self.sim.schedule(1, pa["cb"], result)
+
+    # ==================================================================
+    # cache side: incoming coherence
+    # ==================================================================
+
+    def _cache_inv(self, msg: Message) -> None:
+        line = self.cache.lookup(msg.block)
+        if line is not None and line.seq <= msg.seq:
+            self.upd_cls.record_block_gone(self.node, msg.block)
+            self.cache.invalidate(msg.block)
+        elif (self._pending_fill is not None
+              and self._pending_fill.block == msg.block):
+            prev = self._pending_fill.inv_seq
+            self._pending_fill.inv_seq = (
+                msg.seq if prev is None else max(prev, msg.seq))
+        self._send(MsgType.INV_ACK, msg.requester, msg.block)
+
+    def _cache_inv_ack(self, msg: Message) -> None:
+        self._ack_collected()
+
+    def _cache_fetch_fwd(self, msg: Message) -> None:
+        """Home forwarded a read to us (we own the block dirty)."""
+        line = self.cache.lookup(msg.block)
+        if line is not None and line.state is CacheState.MODIFIED:
+            data = dict(line.data)
+            line.state = CacheState.SHARED
+            self._send(MsgType.OWNER_DATA, msg.requester, msg.block,
+                       data=data, seq=msg.seq)
+            self._send(MsgType.SHARING_WB, msg.src, msg.block,
+                       data=data, requester=msg.requester)
+        else:
+            self._send(MsgType.FWD_NACK, msg.src, msg.block,
+                       requester=msg.requester)
+
+    def _cache_fetch_inv_fwd(self, msg: Message) -> None:
+        """Home forwarded a write/rdex to us; transfer ownership."""
+        line = self.cache.lookup(msg.block)
+        if line is not None and line.state is CacheState.MODIFIED:
+            data = dict(line.data)
+            self.miss_cls.record_leave(self.node, msg.block,
+                                       EvictReason.INVALIDATION)
+            self.upd_cls.record_block_gone(self.node, msg.block)
+            self.cache.invalidate(msg.block)
+            self._send(MsgType.OWNER_DATA_EX, msg.requester, msg.block,
+                       data=data, seq=msg.seq, nacks=0)
+            self._send(MsgType.DIRTY_TRANSFER, msg.src, msg.block,
+                       requester=msg.requester)
+        else:
+            self._send(MsgType.FWD_NACK, msg.src, msg.block,
+                       requester=msg.requester)
+
+    # ==================================================================
+    # cache side: evictions
+    # ==================================================================
+
+    def _evict_protocol(self, block: int, state: CacheState,
+                        data: Dict[int, Any]) -> None:
+        if state is CacheState.MODIFIED:
+            self._send(MsgType.WRITEBACK, self.home_of(block), block,
+                       data=dict(data))
+        # SHARED evictions are silent (DASH full-map keeps stale bits)
+
+    # ==================================================================
+    # home side
+    # ==================================================================
+
+    def _home_read(self, msg: Message) -> None:
+        self._begin_txn(msg, self._read_txn)
+
+    def _read_txn(self, msg: Message) -> None:
+        ent = self.directory.entry(msg.block)
+        if ent.state is DirState.DIRTY:
+            self._send(MsgType.FETCH_FWD, ent.owner, msg.block,
+                       requester=msg.requester, seq=ent.next_seq())
+            return  # completes on SHARING_WB (or retries on FWD_NACK)
+        seq = ent.next_seq()
+        t = self.mem.reserve(self.mem.block_access_cycles())
+
+        def finish() -> None:
+            data = self.mem.read_block(msg.block)
+            self._send(MsgType.READ_REPLY, msg.requester, msg.block,
+                       data=data, seq=seq)
+            ent.state = DirState.SHARED
+            ent.sharers.add(msg.requester)
+            self._end_txn(msg.block)
+
+        self.sim.at(t, finish)
+
+    def _issue_invalidations(self, msg: Message, invs, seq: int) -> int:
+        """Issue one invalidation per sharer at the directory
+        controller's iteration rate; returns the absolute completion
+        time of the issue loop."""
+        c = self.config.prop_issue_cycles
+        for k, s in enumerate(invs):
+            self.miss_cls.record_leave(s, msg.block,
+                                       EvictReason.INVALIDATION)
+            self.sim.schedule(
+                k * c,
+                lambda s=s: self._send(MsgType.INV, s, msg.block,
+                                       requester=msg.requester, seq=seq))
+        return self.sim.now + len(invs) * c
+
+    def _home_rdex(self, msg: Message) -> None:
+        self._begin_txn(msg, self._rdex_txn)
+
+    def _rdex_txn(self, msg: Message) -> None:
+        ent = self.directory.entry(msg.block)
+        if ent.state is DirState.DIRTY:
+            self._send(MsgType.FETCH_INV_FWD, ent.owner, msg.block,
+                       requester=msg.requester, seq=ent.next_seq())
+            return  # completes on DIRTY_TRANSFER (or retries on NACK)
+        seq = ent.next_seq()
+        invs = sorted(ent.sharers - {msg.requester})
+        issue_done = self._issue_invalidations(msg, invs, seq)
+        t = self.mem.reserve(self.mem.block_access_cycles())
+
+        def finish() -> None:
+            data = self.mem.read_block(msg.block)
+            self._send(MsgType.RDEX_REPLY, msg.requester, msg.block,
+                       data=data, nacks=len(invs), seq=seq)
+            ent.state = DirState.DIRTY
+            ent.owner = msg.requester
+            ent.sharers.clear()
+
+        self.sim.at(t, finish)
+        self.sim.at(max(t, issue_done), self._end_txn, msg.block)
+
+    def _home_upgrade(self, msg: Message) -> None:
+        self._begin_txn(msg, self._upgrade_txn)
+
+    def _upgrade_txn(self, msg: Message) -> None:
+        ent = self.directory.entry(msg.block)
+        if ent.state is DirState.SHARED and msg.requester in ent.sharers:
+            seq = ent.next_seq()
+            invs = sorted(ent.sharers - {msg.requester})
+            issue_done = self._issue_invalidations(msg, invs, seq)
+            t = self.mem.reserve(self.mem.dir_cycles())
+
+            def finish() -> None:
+                self._send(MsgType.UPGRADE_REPLY, msg.requester,
+                           msg.block, nacks=len(invs), seq=seq)
+                ent.state = DirState.DIRTY
+                ent.owner = msg.requester
+                ent.sharers.clear()
+
+            self.sim.at(t, finish)
+            self.sim.at(max(t, issue_done), self._end_txn, msg.block)
+        else:
+            # the requester's copy was invalidated (or ownership moved)
+            # while its upgrade was in flight: serve data instead
+            self._rdex_txn(msg)
+
+    def _home_sharing_wb(self, msg: Message) -> None:
+        """Ex-dirty owner demoted to SHARED; completes a forwarded read."""
+        ent = self.directory.entry(msg.block)
+        t = self.mem.reserve(self.mem.block_access_cycles())
+
+        def finish() -> None:
+            self.mem.write_block(msg.block, msg.data or {})
+            ent.state = DirState.SHARED
+            ent.owner = -1
+            ent.sharers = {msg.src, msg.requester}
+            self._end_txn(msg.block)
+
+        self.sim.at(t, finish)
+
+    def _home_dirty_transfer(self, msg: Message) -> None:
+        """Ownership moved between caches; completes a forwarded rdex."""
+        ent = self.directory.entry(msg.block)
+        ent.state = DirState.DIRTY
+        ent.owner = msg.requester
+        ent.sharers.clear()
+        self._end_txn(msg.block)
+
+    def _home_writeback(self, msg: Message) -> None:
+        """Eviction writeback; processed immediately (never queued) so a
+        racing forward's retry observes the directory already updated."""
+        ent = self.directory.entry(msg.block)
+        if ent.state is DirState.DIRTY and ent.owner == msg.src:
+            ent.state = DirState.UNOWNED
+            ent.owner = -1
+        t = self.mem.reserve(self.mem.block_access_cycles())
+        data = msg.data or {}
+        self.sim.at(t, lambda: self.mem.write_block(msg.block, data))

@@ -1,0 +1,11 @@
+"""Runtime: processors, shared-memory layout, and the machine builder."""
+
+from repro.runtime.processor import Processor, ThreadProgram
+from repro.runtime.memory_map import SharedAlloc, MemoryMap
+from repro.runtime.machine import Machine, RunResult
+
+__all__ = [
+    "Processor", "ThreadProgram",
+    "SharedAlloc", "MemoryMap",
+    "Machine", "RunResult",
+]

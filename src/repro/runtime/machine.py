@@ -1,0 +1,203 @@
+"""The simulated multiprocessor: nodes + network + classifiers.
+
+Typical use::
+
+    from repro.config import MachineConfig, Protocol
+    from repro.runtime import Machine
+
+    machine = Machine(MachineConfig(num_procs=8, protocol=Protocol.CU))
+    flag = machine.memmap.alloc_word(home=0, label="flag")
+
+    def writer(node):
+        yield Write(flag, 1)
+        yield Fence()
+
+    def reader(node):
+        yield SpinUntil(flag, lambda v: v == 1)
+
+    machine.spawn(0, writer(0))
+    machine.spawn(1, reader(1))
+    result = machine.run()
+    print(result.total_cycles, result.misses, result.updates)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.classify import MissClassifier, UpdateClassifier
+from repro.config import MachineConfig
+from repro.engine import DeadlockError, NullTracer, Simulator
+from repro.network import Network, NetworkStats
+from repro.runtime.memory_map import MemoryMap
+from repro.runtime.processor import Processor, ThreadProgram
+
+
+@dataclass
+class RunResult:
+    """Everything the experiment harness needs from one simulation."""
+
+    total_cycles: int
+    events: int
+    misses: Dict[str, int]
+    updates: Dict[str, int]
+    shared_refs: int
+    network: NetworkStats
+    proc_done_times: List[int] = field(default_factory=list)
+    proc_instructions: List[int] = field(default_factory=list)
+    proc_spin_wakeups: List[int] = field(default_factory=list)
+
+    @property
+    def total_misses(self) -> int:
+        return self.misses.get("total", 0)
+
+    @property
+    def total_update_messages(self) -> int:
+        return self.updates.get("total", 0)
+
+
+class Machine:
+    """A P-node DASH-like multiprocessor running one coherence protocol."""
+
+    def __init__(self, config: MachineConfig, tracer=None,
+                 max_events: Optional[int] = None) -> None:
+        # local import to avoid a cycle (protocols build on runtime types)
+        from repro.protocols import make_controller
+
+        self.config = config
+        self.sim = Simulator(max_events=max_events)
+        self.tracer = tracer if tracer is not None else NullTracer()
+        self.miss_classifier = MissClassifier()
+        self.update_classifier = UpdateClassifier()
+        self.net = Network(self.sim, config)
+        self.memmap = MemoryMap(config)
+        self.controllers = [make_controller(self, n)
+                            for n in range(config.num_procs)]
+        self.processors: List[Processor] = []
+        self._ran = False
+
+    # ------------------------------------------------------------------
+
+    def spawn(self, node: int, program: ThreadProgram) -> Processor:
+        """Create the thread that will run on ``node``."""
+        if not 0 <= node < self.config.num_procs:
+            raise ValueError(f"node {node} out of range")
+        if any(p.node == node and not p.done for p in self.processors):
+            raise ValueError(f"node {node} already has a thread")
+        proc = Processor(self.sim, node, self.controllers[node], program,
+                         machine=self)
+        self.processors.append(proc)
+        return proc
+
+    def fork(self, parent: Processor, node: int, program: ThreadProgram,
+             resume) -> None:
+        """Start ``program`` on ``node`` mid-run (the Fork op).
+
+        Under the update-based protocols the parent's cache is flushed
+        first (the paper's PU optimization 2), removing the parent from
+        the sharer lists of everything it touched pre-fork; the parent
+        resumes -- with the child's join handle -- once the flush
+        completes.
+        """
+        child = self.spawn(node, program)
+
+        def start() -> None:
+            child.start()
+            resume(child)
+
+        if (self.config.protocol.is_update_based
+                or self.config.protocol.value == "hybrid") \
+                and self.config.fork_flush:
+            parent.ctrl.flush_all(start)
+        else:
+            self.sim.schedule(1, start)
+
+    def spawn_all(self, program_factory) -> None:
+        """``program_factory(node) -> generator`` for every node."""
+        for node in range(self.config.num_procs):
+            self.spawn(node, program_factory(node))
+
+    # ------------------------------------------------------------------
+
+    def _install_initial_values(self) -> None:
+        for addr, value in self.memmap.initial_values.items():
+            home = self.memmap.home_of(addr)
+            self.controllers[home].mem.write_word(
+                self.config.word_of(addr), value)
+
+    def run(self, until: Optional[int] = None) -> RunResult:
+        """Run the simulation to completion and collect the results."""
+        if self._ran:
+            raise RuntimeError("machine already ran; build a fresh one")
+        self._ran = True
+        if not self.processors:
+            raise RuntimeError("no threads spawned")
+        self._install_initial_values()
+        for proc in self.processors:
+            proc.start()
+        self.sim.run(until=until)
+
+        stuck = [p for p in self.processors if not p.done]
+        if stuck and until is None:
+            details = ", ".join(
+                f"node {p.node} at {p._current_op!r}" for p in stuck)
+            raise DeadlockError(
+                f"{len(stuck)} thread(s) never finished: {details}")
+
+        self.miss_classifier.finalize()
+        self.update_classifier.finalize()
+        return RunResult(
+            total_cycles=self.sim.now,
+            events=self.sim.events_processed,
+            misses=self.miss_classifier.as_dict(),
+            updates=self.update_classifier.as_dict(),
+            shared_refs=self.miss_classifier.shared_refs,
+            network=self.net.stats,
+            proc_done_times=[p.done_time or self.sim.now
+                             for p in self.processors],
+            proc_instructions=[p.instructions for p in self.processors],
+            proc_spin_wakeups=[p.spin_wakeups for p in self.processors],
+        )
+
+    # ------------------------------------------------------------------
+    # debugging / invariants (used heavily by the test suite)
+    # ------------------------------------------------------------------
+
+    def quiesced(self) -> bool:
+        return all(c.quiesced() for c in self.controllers)
+
+    def check_coherence_invariants(self) -> None:
+        """Assert directory/cache agreement (call when quiesced)."""
+        from repro.memsys.cache import CacheState
+        from repro.memsys.directory import DirState
+
+        for ctrl in self.controllers:
+            for block, ent in ctrl.directory.entries().items():
+                holders = [c.node for c in self.controllers
+                           if c.cache.contains(block)]
+                dirty = [c.node for c in self.controllers
+                         if (ln := c.cache.lookup(block)) is not None
+                         and ln.state in (CacheState.MODIFIED,
+                                          CacheState.RETAINED)]
+                if len(dirty) > 1:
+                    raise AssertionError(
+                        f"blk {block}: multiple dirty copies at {dirty}")
+                if ent.state is DirState.DIRTY:
+                    if dirty != [ent.owner]:
+                        raise AssertionError(
+                            f"blk {block}: directory says dirty at "
+                            f"{ent.owner}, caches say {dirty}")
+                else:
+                    if dirty:
+                        raise AssertionError(
+                            f"blk {block}: directory {ent.state} but "
+                            f"dirty copy at {dirty}")
+                    # every holder must be a known sharer (the reverse
+                    # need not hold under WI's silent S-evictions)
+                    missing = set(holders) - ent.sharers
+                    if missing:
+                        raise AssertionError(
+                            f"blk {block}: cached at {sorted(missing)} "
+                            f"unknown to the directory "
+                            f"(sharers={sorted(ent.sharers)})")

@@ -1,0 +1,162 @@
+"""The processor front-end: drives one thread generator per node.
+
+A *thread program* is a Python generator that yields
+:mod:`repro.isa.ops` operations; the processor executes each against the
+node's cache controller and resumes the generator with the result.  The
+processor is blocking (single outstanding read, as in the paper) and
+charges 1 cycle per instruction.
+
+The spin-wait fast path lives here: a :class:`~repro.isa.ops.SpinUntil`
+issues a fully-modeled (classified, possibly missing) read per re-check,
+but between re-checks the processor parks on the cache's block-watcher
+instead of burning simulated cycles on local hits that can generate no
+traffic and no state change.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+from repro.isa.ops import (
+    CallHook, Compute, CompareSwap, Fence, FetchAdd, FetchStore, Flush,
+    FlushCache, Fork, Join, Op, Read, SpinUntil, Write, _AtomicOp,
+)
+
+#: A thread program: generator yielding Ops, resumed with each result.
+ThreadProgram = Generator[Op, Any, None]
+
+
+class Processor:
+    """Executes one thread program on one node."""
+
+    __slots__ = ("sim", "node", "ctrl", "machine", "_gen", "done",
+                 "done_time", "instructions", "spin_wakeups", "started",
+                 "failure", "_current_op", "_done_callbacks")
+
+    def __init__(self, sim, node: int, ctrl, program: ThreadProgram,
+                 machine=None) -> None:
+        self.sim = sim
+        self.node = node
+        self.ctrl = ctrl
+        #: back-reference for dynamic thread creation (Fork)
+        self.machine = machine
+        self._gen = program
+        self.done = False
+        self.done_time: Optional[int] = None
+        self.instructions = 0
+        self.spin_wakeups = 0
+        self.started = False
+        self.failure: Optional[BaseException] = None
+        self._current_op: Optional[Op] = None
+        self._done_callbacks: list = []
+
+    def on_done(self, cb) -> None:
+        """Run ``cb()`` when this thread finishes (Join support)."""
+        if self.done:
+            cb()
+        else:
+            self._done_callbacks.append(cb)
+
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        if self.started:
+            raise RuntimeError("processor already started")
+        self.started = True
+        self.sim.schedule(0, self._resume, None)
+
+    def _finish(self) -> None:
+        self.done = True
+        self.done_time = self.sim.now
+        self._gen = None
+        callbacks, self._done_callbacks = self._done_callbacks, []
+        for cb in callbacks:
+            cb()
+
+    def _resume(self, value: Any) -> None:
+        """Advance the thread program and dispatch its next operation."""
+        try:
+            op = self._gen.send(value)
+        except StopIteration:
+            self._finish()
+            return
+        except BaseException as exc:  # surface program bugs loudly
+            self.failure = exc
+            self._finish()
+            raise
+        self._current_op = op
+        self.instructions += 1
+        self._dispatch(op)
+
+    # ------------------------------------------------------------------
+
+    def _dispatch(self, op: Op) -> None:
+        cls = op.__class__
+        if cls is Read:
+            self.ctrl.read(op.addr, self._resume)
+        elif cls is Write:
+            self.ctrl.write(op.addr, op.value, self._resume,
+                            mask=op.mask)
+        elif cls is Compute:
+            self.sim.schedule(op.cycles, self._resume, None)
+        elif cls is SpinUntil:
+            self._spin(op.addr, op.predicate)
+        elif isinstance(op, _AtomicOp):
+            self.ctrl.atomic(op.opname, op.addr, op.operand, self._resume)
+        elif cls is Fence:
+            self.ctrl.fence(lambda: self._resume(None))
+        elif cls is CallHook:
+            op.fn(self, self._resume)
+        elif cls is Fork:
+            if self.machine is None:
+                raise RuntimeError("Fork requires a machine-backed "
+                                   "processor")
+            self.machine.fork(self, op.node, op.program, self._resume)
+        elif cls is Join:
+            op.handle.on_done(lambda: self._resume(None))
+        elif cls is Flush:
+            self.ctrl.flush_block(op.addr, lambda: self._resume(None))
+        elif cls is FlushCache:
+            self.ctrl.flush_all(lambda: self._resume(None))
+        else:
+            raise TypeError(f"thread yielded a non-Op: {op!r}")
+
+    # ------------------------------------------------------------------
+    # spin-wait fast path
+    # ------------------------------------------------------------------
+
+    def _spin(self, addr: int, pred: Callable[[Any], bool]) -> None:
+        ctrl = self.ctrl
+        cfg = ctrl.config
+        word = cfg.word_of(addr)
+        block = cfg.block_of(addr)
+
+        def attempt() -> None:
+            # a fully modeled read: classification, CU counter reset,
+            # possible miss + fill
+            ctrl.read(addr, check)
+
+        def check(value: Any) -> None:
+            # Re-sample the freshest locally visible value: the read's
+            # return value was captured at issue time and an update may
+            # have landed during the 1-cycle hit latency.
+            hit, fresh = ctrl.local_view(block, word)
+            if hit:
+                value = fresh
+            if pred(value):
+                self._resume(value)
+                return
+            if ctrl.cache.contains(block):
+                # park until the local copy changes (update arrives,
+                # invalidation, or a new fill)
+                ctrl.cache.watch(block, wake)
+            else:
+                # copy vanished between fill and check; re-read (miss)
+                self.sim.schedule(1, attempt)
+
+        def wake() -> None:
+            self.spin_wakeups += 1
+            # one spin-loop iteration to notice the change
+            self.sim.schedule(1, attempt)
+
+        attempt()

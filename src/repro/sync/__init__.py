@@ -1,0 +1,38 @@
+"""Synchronization library (subsystem S14).
+
+The algorithms of paper section 2, written against the simulator's
+operation vocabulary so that their shared-reference streams match the
+paper's pseudo-code line for line:
+
+* locks: centralized ticket, MCS list-based queue lock, and the paper's
+  update-conscious MCS variant (queue-node flushes);
+* barriers: sense-reversing centralized, dissemination, and the 4-ary
+  arrival-tree barrier of Mellor-Crummey & Scott;
+* reductions: parallel (lock-based) and sequential (master-computes);
+* ideal (zero-traffic) lock and barrier used by the reduction
+  experiments to isolate reduction traffic (paper section 4.3).
+"""
+
+from repro.sync.locks import (
+    NIL, SpinLock, TicketLock, MCSLock, UpdateConsciousMCSLock,
+    TestAndSetLock, make_lock, LOCK_KINDS, ALL_LOCK_KINDS,
+)
+from repro.sync.barriers import (
+    Barrier, CentralBarrier, DisseminationBarrier, TreeBarrier,
+    make_barrier, BARRIER_KINDS,
+)
+from repro.sync.reductions import (
+    ParallelReduction, SequentialReduction, make_reduction,
+    REDUCTION_KINDS,
+)
+from repro.sync.ideal import IdealLock, IdealBarrier
+
+__all__ = [
+    "NIL", "SpinLock", "TicketLock", "MCSLock", "UpdateConsciousMCSLock",
+    "TestAndSetLock", "make_lock", "LOCK_KINDS", "ALL_LOCK_KINDS",
+    "Barrier", "CentralBarrier", "DisseminationBarrier", "TreeBarrier",
+    "make_barrier", "BARRIER_KINDS",
+    "ParallelReduction", "SequentialReduction", "make_reduction",
+    "REDUCTION_KINDS",
+    "IdealLock", "IdealBarrier",
+]

@@ -1,0 +1,209 @@
+"""Barriers: sense-reversing centralized, dissemination, and tree.
+
+Pseudo-code sources: paper figures 3, 4 and 5 (the Mellor-Crummey &
+Scott algorithms).  "Processor private" variables of the pseudo-code
+(local sense, parity) are plain Python per-node state -- they never
+touch shared memory.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Generator, List
+
+from repro.isa.ops import FetchAdd, Read, SpinUntil, Write
+
+
+class Barrier:
+    """Interface shared by all barrier implementations."""
+
+    #: short name used in experiment labels ("cb", "db", "tb")
+    name = ""
+
+    def wait(self, node: int) -> Generator:
+        raise NotImplementedError
+
+
+class CentralBarrier(Barrier):
+    """Sense-reversing centralized barrier (paper figure 3).
+
+    Each arrival decrements a shared counter with fetch_and_decrement;
+    the last arrival resets the counter and toggles the global sense
+    flag on which everyone else spins.  ``count`` and ``sense`` form a
+    single barrier record in one cache block (``colocate=True``, the
+    default) -- the layout under which every arrival's counter change
+    lands in the spinners' cached block, producing the mostly-useless
+    update traffic of figure 13 and the WI advantage at large machine
+    sizes the paper reports.  ``colocate=False`` pads them into
+    separate blocks for the layout ablation.
+    """
+
+    name = "cb"
+
+    def __init__(self, machine, home: int = 0, colocate: bool = True,
+                 label: str = "cb") -> None:
+        mm = machine.memmap
+        self.P = machine.config.num_procs
+        if colocate:
+            fields = mm.alloc_struct(home, ["count", "sense"], label=label)
+            self.count = fields["count"]
+            self.sense = fields["sense"]
+        else:
+            self.count = mm.alloc_word(home, f"{label}.count")
+            self.sense = mm.alloc_word(home, f"{label}.sense")
+        mm.set_initial(self.count, self.P)
+        mm.set_initial(self.sense, 1)        # shared sense := true
+        self._local_sense = [1] * self.P     # private local_sense := true
+
+    def wait(self, node: int) -> Generator:
+        # each processor toggles its own sense
+        local_sense = 1 - self._local_sense[node]
+        self._local_sense[node] = local_sense
+        old = yield FetchAdd(self.count, -1)
+        if old == 1:                          # last processor
+            yield Write(self.count, self.P)
+            # toggle global sense; write ordering through the write
+            # buffer makes the count reset visible no later than this
+            yield Write(self.sense, local_sense)
+        else:
+            yield SpinUntil(self.sense, lambda v, s=local_sense: v == s)
+
+
+class DisseminationBarrier(Barrier):
+    """Dissemination barrier (paper figure 4).
+
+    ceil(log2 P) rounds; in round k processor i signals processor
+    (i + 2^k) mod P.  Alternating parities plus sense reversal keep
+    consecutive episodes from interfering.  Each flag word lives in its
+    own cache block homed at the *spinning* processor (``pad=True``,
+    the "mapped to the processor that uses it most" discipline);
+    ``pad=False`` packs each processor's flags into one block for the
+    layout ablation.
+    """
+
+    name = "db"
+
+    def __init__(self, machine, pad: bool = True, label: str = "db") -> None:
+        mm = machine.memmap
+        self.P = machine.config.num_procs
+        self.rounds = max(0, math.ceil(math.log2(self.P))) if self.P > 1 \
+            else 0
+        # flags[i][parity][k]: written by (i - 2^k) mod P, read by i
+        self.flags: List[List[List[int]]] = []
+        for i in range(self.P):
+            if pad:
+                per_node = [
+                    [mm.alloc_word(i, f"{label}.f{i}.{r}.{k}")
+                     for k in range(self.rounds)]
+                    for r in range(2)
+                ]
+            else:
+                names = [f"p{r}k{k}" for r in range(2)
+                         for k in range(self.rounds)]
+                fields = mm.alloc_struct(i, names or ["unused"],
+                                         label=f"{label}.flags{i}")
+                per_node = [
+                    [fields[f"p{r}k{k}"] for k in range(self.rounds)]
+                    for r in range(2)
+                ]
+            self.flags.append(per_node)
+        self._parity = [0] * self.P
+        self._sense = [1] * self.P
+
+    def wait(self, node: int) -> Generator:
+        parity = self._parity[node]
+        sense = self._sense[node]
+        for k in range(self.rounds):
+            partner = (node + (1 << k)) % self.P
+            yield Write(self.flags[partner][parity][k], sense)
+            yield SpinUntil(self.flags[node][parity][k],
+                            lambda v, s=sense: v == s)
+        if parity == 1:
+            self._sense[node] = 1 - sense
+        self._parity[node] = 1 - parity
+
+
+class TreeBarrier(Barrier):
+    """4-ary arrival-tree barrier with a global wake-up flag
+    (paper figure 5).
+
+    As in the original algorithm, processor i's four ``childnotready``
+    flags are byte flags packed into a *single word* of a block homed at
+    i: the parent spins comparing the whole word against
+    ``{false,false,false,false}`` (== 0) and resets it with one store;
+    each child clears its own byte with a sub-word store.  The root
+    toggles a single global sense flag to release everyone.
+    """
+
+    name = "tb"
+
+    def __init__(self, machine, home: int = 0, label: str = "tb") -> None:
+        mm = machine.memmap
+        self.P = machine.config.num_procs
+        #: word address of nodes[i].childnotready
+        self.cnr: List[int] = []
+        self.havechild: List[List[bool]] = []
+        #: value of havechild as a packed byte mask (the reset value)
+        self.havechild_word: List[int] = []
+        for i in range(self.P):
+            addr = mm.alloc_word(i, label=f"{label}.node{i}")
+            self.cnr.append(addr)
+            kids = [4 * i + j + 1 < self.P for j in range(4)]
+            self.havechild.append(kids)
+            word = 0
+            for j in range(4):
+                if kids[j]:
+                    word |= 0xFF << (8 * j)
+            self.havechild_word.append(word)
+            # initially childnotready = havechild
+            if word:
+                mm.set_initial(addr, word)
+        self.globalsense = mm.alloc_word(home, f"{label}.globalsense")
+        # on every processor, sense is initially true; globalsense false
+        self._sense = [1] * self.P
+        self.dummy = mm.alloc_word(home, f"{label}.dummy")
+
+    @staticmethod
+    def _byte_mask(slot: int) -> int:
+        return 0xFF << (8 * slot)
+
+    def wait(self, node: int) -> Generator:
+        # repeat until childnotready = {false, false, false, false}
+        if self.havechild_word[node]:
+            yield SpinUntil(self.cnr[node], lambda v: v == 0)
+        # childnotready := havechild (prepare for next barrier)
+        yield Write(self.cnr[node], self.havechild_word[node])
+        sense = self._sense[node]
+        if node != 0:
+            parent = (node - 1) // 4
+            slot = (node - 1) % 4
+            # let parent know I'm ready (byte store into its flags word)
+            yield Write(self.cnr[parent], 0, mask=self._byte_mask(slot))
+            # wait until my parent signals wake-up
+            yield SpinUntil(self.globalsense,
+                            lambda v, s=sense: v == s)
+        else:
+            # root: parentpointer points at the pseudo-data dummy
+            yield Write(self.dummy, 0)
+            yield Write(self.globalsense, sense)
+        self._sense[node] = 1 - sense
+
+
+BARRIER_KINDS = ("cb", "db", "tb")
+
+
+def make_barrier(kind: str, machine, **kw) -> Barrier:
+    """Factory keyed by the paper's bar labels: cb / db / tb."""
+    table = {
+        "cb": CentralBarrier,
+        "central": CentralBarrier,
+        "db": DisseminationBarrier,
+        "dissemination": DisseminationBarrier,
+        "tb": TreeBarrier,
+        "tree": TreeBarrier,
+    }
+    try:
+        cls = table[kind.lower()]
+    except KeyError:
+        raise ValueError(f"unknown barrier kind {kind!r}") from None
+    return cls(machine, **kw)

@@ -1,0 +1,106 @@
+"""Ideal (zero-traffic) synchronization.
+
+The paper's reduction experiments "simulated locks and barriers that
+synchronize without generating any communication traffic" (section 4.3)
+to isolate the reductions' own traffic.  These primitives serialize
+processors purely inside the simulation kernel: no shared-memory
+references, no messages -- only a fixed instruction-cost charge.
+
+The cycle charges approximate the paper's gcc -O2 analysis of lock
+manipulation overhead (section 2.3): they are what makes the sum of P
+parallel-reduction critical sections longer than the sequential
+reduction's master loop.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generator, List
+
+from repro.isa.ops import CallHook, Compute, Fence
+
+#: default instruction-cost charges (processor cycles)
+IDEAL_LOCK_ACQUIRE_CYCLES = 12
+IDEAL_LOCK_RELEASE_CYCLES = 8
+IDEAL_BARRIER_CYCLES = 10
+
+
+class IdealLock:
+    """A mutual-exclusion lock with no communication traffic."""
+
+    name = "ideal-lock"
+
+    def __init__(self, machine,
+                 acquire_cycles: int = IDEAL_LOCK_ACQUIRE_CYCLES,
+                 release_cycles: int = IDEAL_LOCK_RELEASE_CYCLES) -> None:
+        self.acquire_cycles = acquire_cycles
+        self.release_cycles = release_cycles
+        self._held = False
+        self._queue: Deque = deque()
+        #: acquisition order, for fairness assertions in tests
+        self.grant_log: List[int] = []
+
+    def acquire(self, node: int) -> Generator:
+        yield Compute(self.acquire_cycles)
+
+        def hook(proc, resume):
+            if not self._held:
+                self._held = True
+                self.grant_log.append(proc.node)
+                resume(None)
+            else:
+                self._queue.append((proc, resume))
+
+        yield CallHook(hook)
+        return None
+
+    def release(self, node: int, token: Any = None) -> Generator:
+        # release point: the critical section's writes must have
+        # performed (this stall is *reduction* traffic, not lock traffic,
+        # so it is correctly charged even with an ideal lock)
+        yield Fence()
+        yield Compute(self.release_cycles)
+
+        def hook(proc, resume):
+            if not self._held:
+                raise RuntimeError("release of an unheld ideal lock")
+            if self._queue:
+                nxt_proc, nxt_resume = self._queue.popleft()
+                self.grant_log.append(nxt_proc.node)
+                proc.sim.schedule(0, nxt_resume, None)
+            else:
+                self._held = False
+            resume(None)
+
+        yield CallHook(hook)
+
+
+class IdealBarrier:
+    """A barrier with no communication traffic."""
+
+    name = "ideal-barrier"
+
+    def __init__(self, machine, participants: int = 0,
+                 latency: int = IDEAL_BARRIER_CYCLES) -> None:
+        self.participants = participants or machine.config.num_procs
+        self.latency = latency
+        self._waiting: List = []
+        self.episodes = 0
+
+    def wait(self, node: int) -> Generator:
+        # barriers imply release semantics: writes before the barrier
+        # are visible to every processor after it
+        yield Fence()
+        yield Compute(self.latency)
+
+        def hook(proc, resume):
+            self._waiting.append(resume)
+            if len(self._waiting) == self.participants:
+                self.episodes += 1
+                waiters, self._waiting = self._waiting, []
+                for w in waiters:
+                    proc.sim.schedule(0, w, None)
+            elif len(self._waiting) > self.participants:
+                raise RuntimeError("too many threads at ideal barrier")
+
+        yield CallHook(hook)

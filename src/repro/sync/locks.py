@@ -1,0 +1,213 @@
+"""Spin locks: centralized ticket, MCS, and update-conscious MCS.
+
+All three follow the pseudo-code of the paper's figures 1 and 2 (which
+are the algorithms of Mellor-Crummey & Scott).  A lock's methods are
+generator functions to be driven with ``yield from`` inside a thread
+program::
+
+    token = yield from lock.acquire(node)
+    ...critical section...
+    yield from lock.release(node, token)
+
+Data placement (paper: "shared data are mapped to the processors that
+use them most frequently"): the global lock word(s) live at a designated
+home; each processor's MCS queue node lives in its own padded cache
+block homed at that processor.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.isa.ops import (
+    CompareSwap, Compute, Fence, FetchAdd, FetchStore, Flush, Read,
+    SpinUntil, Write,
+)
+
+#: null "pointer" (uninitialized shared memory reads as 0, so queue-node
+#: pointers are encoded as node+1)
+NIL = 0
+
+
+class SpinLock:
+    """Interface shared by all lock implementations."""
+
+    #: short name used in experiment labels ("tk", "MCS", "uc")
+    name = ""
+
+    def acquire(self, node: int) -> Generator:
+        raise NotImplementedError
+
+    def release(self, node: int, token: Any = None) -> Generator:
+        raise NotImplementedError
+
+
+class TicketLock(SpinLock):
+    """The centralized ticket lock (paper figure 1).
+
+    Two global counters: ``next_ticket`` hands out tickets with
+    fetch_and_add; ``now_serving`` says whose turn it is.  By default
+    both live in the same cache block (a single lock record, as in the
+    Mellor-Crummey & Scott code); ``colocate=False`` pads them into
+    separate blocks for the layout ablation.
+    """
+
+    name = "tk"
+
+    def __init__(self, machine, home: int = 0, colocate: bool = True,
+                 label: str = "ticket") -> None:
+        mm = machine.memmap
+        if colocate:
+            fields = mm.alloc_struct(home, ["next_ticket", "now_serving"],
+                                     label=label)
+            self.next_ticket = fields["next_ticket"]
+            self.now_serving = fields["now_serving"]
+        else:
+            self.next_ticket = mm.alloc_word(home, f"{label}.next_ticket")
+            self.now_serving = mm.alloc_word(home, f"{label}.now_serving")
+
+    def acquire(self, node: int) -> Generator:
+        my_ticket = yield FetchAdd(self.next_ticket, 1)
+        yield SpinUntil(self.now_serving,
+                        lambda v, t=my_ticket: v == t)
+        return my_ticket
+
+    def release(self, node: int, token: Any = None) -> Generator:
+        # release point: prior writes must have performed
+        yield Fence()
+        now = yield Read(self.now_serving)
+        yield Write(self.now_serving, now + 1)
+
+
+class MCSLock(SpinLock):
+    """The MCS list-based queuing lock (paper figure 2).
+
+    Waiters chain into a list through per-processor queue nodes; each
+    spins on its own ``locked`` flag; the releaser hands the lock to its
+    successor directly.  Queue nodes are padded blocks homed at their
+    owning processor.
+    """
+
+    name = "MCS"
+    update_conscious = False
+
+    def __init__(self, machine, home: int = 0, label: str = "mcs") -> None:
+        mm = machine.memmap
+        P = machine.config.num_procs
+        #: flush the predecessor's queue node after linking behind it /
+        #: the successor's after handing over (independently selectable
+        #: for the flush-policy ablation; the paper's ucMCS sets both)
+        self.flush_pred = self.update_conscious
+        self.flush_succ = self.update_conscious
+        self.tail = mm.alloc_word(home, f"{label}.tail")  # 0 == nil
+        self.qnode_next = []
+        self.qnode_locked = []
+        for i in range(P):
+            fields = mm.alloc_struct(i, ["next", "locked"],
+                                     label=f"{label}.qnode{i}")
+            self.qnode_next.append(fields["next"])
+            self.qnode_locked.append(fields["locked"])
+
+    @staticmethod
+    def _ptr(node: int) -> int:
+        return node + 1
+
+    def acquire(self, node: int) -> Generator:
+        my_next = self.qnode_next[node]
+        my_locked = self.qnode_locked[node]
+        yield Write(my_next, NIL)                     # I->next := nil
+        pred_ptr = yield FetchStore(self.tail, self._ptr(node))
+        if pred_ptr != NIL:
+            pred = pred_ptr - 1
+            yield Write(my_locked, 1)                 # I->locked := true
+            yield Write(self.qnode_next[pred], self._ptr(node))
+            if self.flush_pred:
+                # stop receiving updates for the predecessor's queue node
+                yield Flush(self.qnode_next[pred])
+            yield SpinUntil(my_locked, lambda v: v == 0)
+        return None
+
+    def release(self, node: int, token: Any = None) -> Generator:
+        my_next = self.qnode_next[node]
+        succ_ptr = yield Read(my_next)
+        if succ_ptr == NIL:                           # no known successor
+            yield Fence()                             # release point
+            swapped = yield CompareSwap(self.tail, self._ptr(node), NIL)
+            if swapped:
+                return
+            succ_ptr = yield SpinUntil(my_next, lambda v: v != NIL)
+        succ = succ_ptr - 1
+        yield Fence()                                 # release point
+        yield Write(self.qnode_locked[succ], 0)
+        if self.flush_succ:
+            # stop receiving updates for the successor's queue node
+            yield Flush(self.qnode_locked[succ])
+
+
+class UpdateConsciousMCSLock(MCSLock):
+    """The paper's proposed MCS modification (section 2.1): flush the
+    predecessor's and successor's queue nodes after touching them, so a
+    pure-update protocol stops sending this processor updates for queue
+    nodes it will never look at again."""
+
+    name = "uc"
+    update_conscious = True
+
+
+class TestAndSetLock(SpinLock):
+    """Test-and-test-and-set lock with bounded exponential backoff.
+
+    Not one of the paper's three study subjects, but the classic
+    baseline its lock discussion (via Mellor-Crummey & Scott) assumes;
+    included as a library extension for comparisons.  The lock word is
+    polled with ordinary reads (test) and grabbed with fetch_and_store
+    (set); losers back off exponentially up to ``max_backoff`` cycles.
+    """
+
+    name = "tas"
+
+    def __init__(self, machine, home: int = 0, min_backoff: int = 8,
+                 max_backoff: int = 1024, label: str = "tas") -> None:
+        self.word = machine.memmap.alloc_word(home, f"{label}.lock")
+        self.min_backoff = min_backoff
+        self.max_backoff = max_backoff
+
+    def acquire(self, node: int) -> Generator:
+        backoff = self.min_backoff
+        while True:
+            # test: spin on an ordinary read until the lock looks free
+            yield SpinUntil(self.word, lambda v: v == 0)
+            # set: try to grab it
+            old = yield FetchStore(self.word, 1)
+            if old == 0:
+                return None
+            yield Compute(backoff)
+            backoff = min(backoff * 2, self.max_backoff)
+
+    def release(self, node: int, token: Any = None) -> Generator:
+        yield Fence()                                 # release point
+        yield Write(self.word, 0)
+
+
+LOCK_KINDS = ("tk", "MCS", "uc")
+
+#: all lock implementations, including extensions beyond the paper's set
+ALL_LOCK_KINDS = ("tas", "tk", "MCS", "uc")
+
+
+def make_lock(kind: str, machine, home: int = 0, **kw) -> SpinLock:
+    """Factory keyed by the paper's bar labels: tk / MCS / uc."""
+    table = {
+        "tk": TicketLock,
+        "ticket": TicketLock,
+        "mcs": MCSLock,
+        "uc": UpdateConsciousMCSLock,
+        "ucmcs": UpdateConsciousMCSLock,
+        "tas": TestAndSetLock,
+        "test-and-set": TestAndSetLock,
+    }
+    try:
+        cls = table[kind.lower() if kind != "MCS" else "mcs"]
+    except KeyError:
+        raise ValueError(f"unknown lock kind {kind!r}") from None
+    return cls(machine, home=home, **kw)

@@ -1,0 +1,111 @@
+"""Reduction operations: parallel and sequential (paper figures 6, 7).
+
+A *max* reduction, as in the paper's example (itself modeled on the
+Barnes-Hut code from Splash-2):
+
+* **parallel** -- every processor compares-and-maybe-writes the global
+  ``max`` inside a critical section, then a barrier, then everyone uses
+  the result, then a barrier;
+* **sequential** -- every processor publishes its value to
+  ``local_max[pid]``, a barrier, processor 0 computes the global max
+  alone, a barrier, then everyone uses the result.
+
+Both take the lock/barrier objects to use; the paper's experiments pass
+the *ideal* (zero-traffic) primitives so only reduction traffic shows.
+
+``local_max`` follows the paper's placement discipline ("shared data
+are mapped to the processors that use them most frequently"): each slot
+lives in its own cache block homed at its writer (``padded=True``, the
+default).  ``padded=False`` lays the array out contiguously with
+block-level interleaving instead -- the careless layout whose false
+sharing the layout-ablation benchmark quantifies.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List
+
+from repro.isa.ops import Compute, Read, Write
+
+
+class ParallelReduction:
+    """Lock-based parallel max reduction (paper figure 6)."""
+
+    name = "pr"
+
+    def __init__(self, machine, lock, barrier, home: int = 0,
+                 label: str = "pr") -> None:
+        self.machine = machine
+        self.lock = lock
+        self.barrier = barrier
+        self.max_addr = machine.memmap.alloc_word(home, f"{label}.max")
+
+    def reduce(self, node: int, local_value: int) -> Generator:
+        """One full reduction episode; returns the global max."""
+        token = yield from self.lock.acquire(node)
+        current = yield Read(self.max_addr)
+        yield Compute(1)                      # the comparison
+        if current < local_value:
+            yield Write(self.max_addr, local_value)
+        yield from self.lock.release(node, token)
+        yield from self.barrier.wait(node)
+        result = yield Read(self.max_addr)    # code that uses max
+        yield from self.barrier.wait(node)
+        return result
+
+
+class SequentialReduction:
+    """Master-computes sequential max reduction (paper figure 7)."""
+
+    name = "sr"
+
+    def __init__(self, machine, barrier, home: int = 0,
+                 padded: bool = True, label: str = "sr") -> None:
+        self.machine = machine
+        self.barrier = barrier
+        mm = machine.memmap
+        cfg = machine.config
+        self.P = cfg.num_procs
+        self.max_addr = mm.alloc_word(home, f"{label}.max")
+        if padded:
+            self.slots: List[int] = [
+                mm.alloc_word(i, f"{label}.local_max{i}")
+                for i in range(self.P)
+            ]
+        else:
+            base = mm.alloc_region(self.P * cfg.word_size_bytes,
+                                   f"{label}.local_max")
+            self.slots = [base + i * cfg.word_size_bytes
+                          for i in range(self.P)]
+
+    def reduce(self, node: int, local_value: int) -> Generator:
+        """One full reduction episode; returns the global max."""
+        yield Write(self.slots[node], local_value)
+        yield from self.barrier.wait(node)
+        if node == 0:
+            for i in range(self.P):
+                v = yield Read(self.slots[i])
+                current = yield Read(self.max_addr)
+                yield Compute(2)              # compare + loop overhead
+                if current < v:
+                    yield Write(self.max_addr, v)
+        yield from self.barrier.wait(node)
+        result = yield Read(self.max_addr)    # code that uses max
+        return result
+
+
+REDUCTION_KINDS = ("sr", "pr")
+
+
+def make_reduction(kind: str, machine, lock=None, barrier=None, **kw):
+    """Factory keyed by the paper's bar labels: sr / pr."""
+    k = kind.lower()
+    if k in ("pr", "parallel"):
+        if lock is None or barrier is None:
+            raise ValueError("parallel reduction needs a lock and barrier")
+        return ParallelReduction(machine, lock, barrier, **kw)
+    if k in ("sr", "sequential"):
+        if barrier is None:
+            raise ValueError("sequential reduction needs a barrier")
+        return SequentialReduction(machine, barrier, **kw)
+    raise ValueError(f"unknown reduction kind {kind!r}")

@@ -1,0 +1,31 @@
+"""Trace-driven front end.
+
+The paper's front-end (MINT) is execution-driven; this package adds the
+classic alternative: replaying per-processor *address traces* through
+the same back-end.  Useful for feeding reference streams captured
+elsewhere (or from a previous simulation) and for regression-testing
+the memory system against fixed inputs.
+
+A trace is a sequence of records per processor::
+
+    # node op addr [arg]
+    0 R 0x40
+    0 W 0x40 7
+    1 A 0x80 1        # fetch_and_add
+    1 C 50            # compute cycles
+    0 F 0x40          # block flush
+    0 B               # fence (barrier between its own accesses)
+
+See :func:`parse_trace` / :func:`format_trace` for the file format and
+:func:`run_trace` for end-to-end execution.
+"""
+
+from repro.tracefe.trace import (
+    TraceOp, TraceRecord, capture_program, format_trace, parse_trace,
+    run_trace, trace_program,
+)
+
+__all__ = [
+    "TraceOp", "TraceRecord", "capture_program", "format_trace",
+    "parse_trace", "run_trace", "trace_program",
+]

@@ -1,0 +1,165 @@
+"""Trace records, (de)serialization, replay, and capture."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.config import MachineConfig
+from repro.isa.ops import (
+    Compute, Fence, FetchAdd, Flush, Op, Read, Write,
+)
+from repro.runtime import Machine, RunResult
+
+
+class TraceOp(enum.Enum):
+    READ = "R"
+    WRITE = "W"
+    ATOMIC_ADD = "A"
+    COMPUTE = "C"
+    FLUSH = "F"
+    FENCE = "B"
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace event on one processor."""
+
+    node: int
+    op: TraceOp
+    addr: int = 0
+    arg: int = 0
+
+    def format(self) -> str:
+        if self.op is TraceOp.COMPUTE:
+            return f"{self.node} C {self.arg}"
+        if self.op is TraceOp.FENCE:
+            return f"{self.node} B"
+        base = f"{self.node} {self.op.value} {self.addr:#x}"
+        if self.op in (TraceOp.WRITE, TraceOp.ATOMIC_ADD):
+            base += f" {self.arg}"
+        return base
+
+
+def format_trace(records: Iterable[TraceRecord]) -> str:
+    """Serialize records to the text trace format."""
+    return "\n".join(r.format() for r in records) + "\n"
+
+
+def parse_trace(text: str) -> List[TraceRecord]:
+    """Parse the text trace format (comments with '#', blank lines ok)."""
+    out: List[TraceRecord] = []
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        try:
+            node = int(parts[0])
+            op = TraceOp(parts[1].upper())
+            if op is TraceOp.COMPUTE:
+                out.append(TraceRecord(node, op, arg=int(parts[2], 0)))
+            elif op is TraceOp.FENCE:
+                out.append(TraceRecord(node, op))
+            else:
+                addr = int(parts[2], 0)
+                arg = int(parts[3], 0) if len(parts) > 3 else 0
+                out.append(TraceRecord(node, op, addr, arg))
+        except (IndexError, ValueError, KeyError) as exc:
+            raise ValueError(
+                f"bad trace line {lineno}: {raw!r} ({exc})") from None
+    return out
+
+
+def split_by_node(records: Iterable[TraceRecord]
+                  ) -> Dict[int, List[TraceRecord]]:
+    per_node: Dict[int, List[TraceRecord]] = {}
+    for rec in records:
+        per_node.setdefault(rec.node, []).append(rec)
+    return per_node
+
+
+def trace_program(records: List[TraceRecord]):
+    """Turn one processor's records into a thread program."""
+    values: List[Any] = []
+    for rec in records:
+        if rec.op is TraceOp.READ:
+            values.append((yield Read(rec.addr)))
+        elif rec.op is TraceOp.WRITE:
+            yield Write(rec.addr, rec.arg)
+        elif rec.op is TraceOp.ATOMIC_ADD:
+            values.append((yield FetchAdd(rec.addr, rec.arg or 1)))
+        elif rec.op is TraceOp.COMPUTE:
+            yield Compute(rec.arg)
+        elif rec.op is TraceOp.FLUSH:
+            yield Flush(rec.addr)
+        elif rec.op is TraceOp.FENCE:
+            yield Fence()
+    return values
+
+
+def run_trace(config: MachineConfig, records: List[TraceRecord],
+              max_events: Optional[int] = None
+              ) -> Tuple[RunResult, Machine]:
+    """Replay a trace on a fresh machine.
+
+    Trace addresses are used verbatim (block interleaving determines
+    homes); idle nodes get empty programs.  Returns the run result and
+    the machine (for post-run inspection).
+    """
+    machine = Machine(config, max_events=max_events)
+    per_node = split_by_node(records)
+    bad = [n for n in per_node if not 0 <= n < config.num_procs]
+    if bad:
+        raise ValueError(f"trace references nodes {bad} outside the "
+                         f"{config.num_procs}-processor machine")
+    for node in range(config.num_procs):
+        machine.spawn(node, trace_program(per_node.get(node, [])))
+    result = machine.run()
+    return result, machine
+
+
+def capture_program(node: int, program) :
+    """Wrap a thread program, recording its operation stream.
+
+    Returns ``(wrapped_program, records)``: drive the wrapped program
+    as usual; ``records`` fills up with the trace as it executes.
+    Reads/atomics record the address only (their returned values depend
+    on the machine, not the trace).  Unsupported ops (SpinUntil, Fork,
+    CallHook, sub-word writes) raise: traces are for plain reference
+    streams.
+    """
+    records: List[TraceRecord] = []
+
+    def wrapped():
+        gen = program
+        value = None
+        while True:
+            try:
+                op = gen.send(value)
+            except StopIteration:
+                return
+            if isinstance(op, Read):
+                records.append(TraceRecord(node, TraceOp.READ, op.addr))
+            elif isinstance(op, Write):
+                if op.mask is not None:
+                    raise ValueError("cannot capture sub-word writes")
+                records.append(TraceRecord(node, TraceOp.WRITE, op.addr,
+                                           op.value))
+            elif isinstance(op, FetchAdd):
+                records.append(TraceRecord(node, TraceOp.ATOMIC_ADD,
+                                           op.addr, op.delta))
+            elif isinstance(op, Compute):
+                records.append(TraceRecord(node, TraceOp.COMPUTE,
+                                           arg=op.cycles))
+            elif isinstance(op, Flush):
+                records.append(TraceRecord(node, TraceOp.FLUSH, op.addr))
+            elif isinstance(op, Fence):
+                records.append(TraceRecord(node, TraceOp.FENCE))
+            else:
+                raise ValueError(
+                    f"cannot capture {type(op).__name__} into a trace")
+            value = yield op
+
+    return wrapped(), records

@@ -1,0 +1,17 @@
+"""Synthetic workloads (subsystem S15): the paper's section-4 programs."""
+
+from repro.workloads.locks import (
+    LockWorkloadResult, run_lock_workload, DEFAULT_HOLD_CYCLES,
+)
+from repro.workloads.barriers import (
+    BarrierWorkloadResult, run_barrier_workload,
+)
+from repro.workloads.reductions import (
+    ReductionWorkloadResult, run_reduction_workload, local_value,
+)
+
+__all__ = [
+    "LockWorkloadResult", "run_lock_workload", "DEFAULT_HOLD_CYCLES",
+    "BarrierWorkloadResult", "run_barrier_workload",
+    "ReductionWorkloadResult", "run_reduction_workload", "local_value",
+]

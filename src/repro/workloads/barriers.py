@@ -1,0 +1,64 @@
+"""The barrier synthetic program (paper section 4.2).
+
+Processors go through the barrier in a tight loop executed 5000 times.
+Figure 11's metric is ``execution_time / episodes``: the average
+latency of a barrier episode.
+
+As with the lock workload, a small bounded per-iteration jitter stands
+in for the instruction-level timing variation of the paper's MIPS
+front-end: it varies which processor arrives last at each episode
+(without it, a deterministic loop elects the same "last arriver"
+forever, and the centralized barrier's counter block never accumulates
+the stale sharers whose useless update traffic figure 13 reports).
+The jitter bound is far below an episode latency, so episode timing is
+essentially unchanged.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.config import MachineConfig
+from repro.isa.ops import Compute
+from repro.runtime import Machine, RunResult
+from repro.sync.barriers import make_barrier
+
+#: bound on the per-iteration timing jitter (cycles)
+DEFAULT_JITTER_CYCLES = 32
+
+
+@dataclass
+class BarrierWorkloadResult:
+    """Figure-11/12/13 measurements for one (barrier, protocol, P)."""
+
+    result: RunResult
+    episodes: int
+
+    @property
+    def avg_latency(self) -> float:
+        """Average barrier-episode latency (the figure-11 metric)."""
+        return self.result.total_cycles / self.episodes
+
+
+def run_barrier_workload(config: MachineConfig, barrier_kind: str,
+                         episodes: int = 5000,
+                         jitter_cycles: int = DEFAULT_JITTER_CYCLES,
+                         seed: int = 0xBA881E8,
+                         max_events: Optional[int] = None,
+                         **barrier_kw) -> BarrierWorkloadResult:
+    """Build, run and measure the barrier synthetic program."""
+    machine = Machine(config, max_events=max_events)
+    barrier = make_barrier(barrier_kind, machine, **barrier_kw)
+
+    def program(node: int):
+        rng = random.Random(seed * 65_537 + node)
+        for _ in range(episodes):
+            if jitter_cycles:
+                yield Compute(rng.randint(0, jitter_cycles))
+            yield from barrier.wait(node)
+
+    machine.spawn_all(program)
+    result = machine.run()
+    return BarrierWorkloadResult(result, episodes)

@@ -1,0 +1,96 @@
+"""The reduction synthetic program (paper section 4.3).
+
+Each processor executes 5000 reductions in a tight loop.  To avoid
+disturbing the results with synchronization traffic, the locks and
+barriers are the *ideal* (zero-traffic) primitives.  Figure 14's metric
+is ``execution_time / iterations``: the average latency of one whole
+reduction operation.
+
+``imbalance=True`` reproduces the paper's modified experiment: a
+pseudo-random amount of local work before each reduction generates load
+imbalance and reduces lock contention (under which parallel reductions
+become the better strategy).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.config import MachineConfig
+from repro.isa.ops import Compute
+from repro.runtime import Machine, RunResult
+from repro.sync.ideal import IdealBarrier, IdealLock
+from repro.sync.reductions import ParallelReduction, SequentialReduction
+
+#: bound on the random pre-reduction work in the imbalance variant
+IMBALANCE_BOUND = 600
+
+
+#: episodes per value band (the global max advances once per band and
+#: saturates for the rest of it, so a realistic fraction of episodes
+#: actually modifies the reduction target)
+VALUE_BAND = 3
+
+
+def local_value(node: int, iteration: int) -> int:
+    """Deterministic per-(processor, iteration) reduction argument.
+
+    Values advance in bands of :data:`VALUE_BAND` episodes: the first
+    episode of a band raises the global max (with the winning processor
+    varying pseudo-randomly); the remaining episodes of the band
+    re-reduce over the same values, so the running max saturates --
+    as in a real iterative application, not every episode discovers a
+    new extremum.
+    """
+    band = iteration - (iteration % VALUE_BAND)
+    return band * 1000 + ((node * 2654435761 + band * 40503) >> 7) % 997
+
+
+@dataclass
+class ReductionWorkloadResult:
+    """Figure-14/15/16 measurements for one (reduction, protocol, P)."""
+
+    result: RunResult
+    iterations: int
+
+    @property
+    def avg_latency(self) -> float:
+        """Average latency of a whole reduction (figure-14 metric)."""
+        return self.result.total_cycles / self.iterations
+
+
+def run_reduction_workload(config: MachineConfig, reduction_kind: str,
+                           iterations: int = 5000,
+                           imbalance: bool = False,
+                           seed: int = 0xFACADE,
+                           padded: bool = True,
+                           max_events: Optional[int] = None,
+                           ) -> ReductionWorkloadResult:
+    """Build, run and measure the reduction synthetic program."""
+    machine = Machine(config, max_events=max_events)
+    barrier = IdealBarrier(machine)
+    if reduction_kind == "pr":
+        red = ParallelReduction(machine, IdealLock(machine), barrier)
+    elif reduction_kind == "sr":
+        red = SequentialReduction(machine, barrier, padded=padded)
+    else:
+        raise ValueError(f"unknown reduction kind {reduction_kind!r}")
+
+    def program(node: int):
+        rng = random.Random(seed * 7919 + node)
+        for it in range(iterations):
+            if imbalance:
+                yield Compute(rng.randint(0, IMBALANCE_BOUND))
+            value = local_value(node, it)
+            got = yield from red.reduce(node, value)
+            # sanity: the reduction result must dominate our argument
+            if got < value:
+                raise AssertionError(
+                    f"node {node} iter {it}: reduction returned {got} "
+                    f"< own value {value}")
+
+    machine.spawn_all(program)
+    result = machine.run()
+    return ReductionWorkloadResult(result, iterations)

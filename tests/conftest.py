@@ -1,0 +1,28 @@
+"""Shared test helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import MachineConfig, Protocol
+from repro.runtime import Machine
+
+ALL_PROTOCOLS = (Protocol.WI, Protocol.PU, Protocol.CU)
+
+
+def make_machine(num_procs: int = 4, protocol: Protocol = Protocol.WI,
+                 max_events: int = 5_000_000, **cfg_kw) -> Machine:
+    cfg = MachineConfig(num_procs=num_procs, protocol=protocol, **cfg_kw)
+    return Machine(cfg, max_events=max_events)
+
+
+def run_programs(machine: Machine, *programs):
+    """Spawn ``programs[i]`` on node i and run to completion."""
+    for node, prog in enumerate(programs):
+        machine.spawn(node, prog)
+    return machine.run()
+
+
+@pytest.fixture(params=ALL_PROTOCOLS, ids=lambda p: p.value)
+def protocol(request):
+    return request.param

@@ -1,0 +1,58 @@
+"""Smoke tests: every shipped example must run to completion.
+
+Examples double as end-to-end exercises of the public API; each is run
+in-process (fast variants where available) and its output sanity-checked.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, argv, capsys):
+    old_argv = sys.argv
+    sys.argv = [name] + argv
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", [], capsys)
+        assert "wi" in out and "pu" in out and "cu" in out
+
+    def test_barnes_hut(self, capsys):
+        out = run_example("barnes_hut_reduction.py", [], capsys)
+        assert "use the parallel reduction" in out
+        assert "use the sequential reduction" in out
+
+    def test_barrier_scaling_fast(self, capsys):
+        out = run_example("barrier_scaling.py", ["--fast"], capsys)
+        assert "dissemination" in out
+        assert "faster than" in out
+
+    def test_lock_contention_fast(self, capsys):
+        out = run_example("lock_contention_study.py", ["--fast"], capsys)
+        assert "Best combination per scenario" in out
+
+    def test_hybrid_machine(self, capsys):
+        out = run_example("hybrid_machine.py", [], capsys)
+        assert "Winner:" in out
+        assert "traffic matrix" in out
+
+    def test_apps_tour(self, capsys):
+        out = run_example("apps_tour.py", [], capsys)
+        assert "Application kernels" in out
+        assert "processor timeline" in out
+
+    @pytest.mark.slow
+    def test_protocol_advisor(self, capsys):
+        out = run_example("protocol_advisor.py", ["--procs", "4"], capsys)
+        assert "Recommendations:" in out

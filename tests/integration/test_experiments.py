@@ -1,0 +1,109 @@
+"""Integration tests for the experiment harness and CLI."""
+
+import pytest
+
+from repro.config import ExperimentScale
+from repro.experiments import (
+    FIGURES, MISS_CATEGORIES, UPDATE_CATEGORIES, combo_label,
+    fig8_lock_latency, fig9_lock_misses, fig10_lock_updates,
+    fig11_barrier_latency, fig13_barrier_updates,
+    fig14_reduction_latency, fig16_reduction_updates,
+)
+from repro.experiments.cli import build_parser, main
+from repro.config import Protocol
+
+TINY = ExperimentScale(lock_total_acquires=48, barrier_episodes=4,
+                       reduction_iters=4)
+SIZES = (2, 4)
+
+
+class TestFigureRunners:
+    def test_combo_labels(self):
+        assert combo_label("tk", Protocol.WI) == "tk-i"
+        assert combo_label("db", Protocol.PU) == "db-u"
+        assert combo_label("sr", Protocol.CU) == "sr-c"
+
+    def test_fig8_structure(self):
+        s = fig8_lock_latency(scale=TINY, sizes=SIZES)
+        assert s.xs == [2, 4]
+        assert set(s.lines) == {
+            f"{k}-{p}" for k in ("tk", "MCS", "uc")
+            for p in ("i", "u", "c")}
+        for label in s.lines:
+            for P in SIZES:
+                assert s.get(label, P) is not None
+                assert s.get(label, P) > 0
+
+    def test_fig9_structure(self):
+        b = fig9_lock_misses(scale=TINY, P=4)
+        assert b.categories == MISS_CATEGORIES
+        assert len(b.bars) == 9
+        for label in b.bars:
+            assert b.total(label) >= 0
+
+    def test_fig10_only_update_protocols(self):
+        b = fig10_lock_updates(scale=TINY, P=4)
+        assert set(b.bars) == {
+            f"{k}-{p}" for k in ("tk", "MCS", "uc") for p in ("u", "c")}
+        assert b.categories == UPDATE_CATEGORIES
+
+    def test_fig11_structure(self):
+        s = fig11_barrier_latency(scale=TINY, sizes=SIZES)
+        assert set(s.lines) == {
+            f"{k}-{p}" for k in ("cb", "db", "tb")
+            for p in ("i", "u", "c")}
+
+    def test_fig13_structure(self):
+        b = fig13_barrier_updates(scale=TINY, P=4)
+        assert len(b.bars) == 6
+
+    def test_fig14_structure(self):
+        s = fig14_reduction_latency(scale=TINY, sizes=SIZES)
+        assert set(s.lines) == {
+            f"{k}-{p}" for k in ("sr", "pr") for p in ("i", "u", "c")}
+
+    def test_fig16_structure(self):
+        b = fig16_reduction_updates(scale=TINY, P=4)
+        assert set(b.bars) == {"sr-u", "sr-c", "pr-u", "pr-c"}
+
+    def test_figures_registry_complete(self):
+        assert set(FIGURES) == {f"fig{i}" for i in range(8, 17)}
+
+    def test_progress_callback_invoked(self):
+        calls = []
+        fig9_lock_misses(scale=TINY, P=2, progress=calls.append)
+        assert len(calls) == 9
+        assert all(c.startswith("fig9") for c in calls)
+
+
+class TestCLI:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.figures == ["all"]
+        assert args.scale == 0.1
+        assert args.sizes == (1, 2, 4, 8, 16, 32)
+
+    def test_parser_sizes(self):
+        args = build_parser().parse_args(["--sizes", "2,4"])
+        assert args.sizes == (2, 4)
+
+    def test_unknown_figure_rejected(self, capsys):
+        rc = main(["fig99"])
+        assert rc == 2
+        assert "unknown figure" in capsys.readouterr().err
+
+    def test_cli_runs_a_traffic_figure(self, capsys):
+        rc = main(["fig9", "--scale", "0.002", "--procs", "4",
+                   "--quiet"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Figure 9" in out
+        assert "tk-i" in out
+
+    def test_cli_runs_a_latency_figure(self, capsys):
+        rc = main(["fig14", "--scale", "0.002", "--sizes", "2,4",
+                   "--quiet"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Figure 14" in out
+        assert "sr-u" in out

@@ -1,0 +1,168 @@
+"""Integration tests for fork/join and the PU fork-flush optimization."""
+
+import pytest
+
+from repro.config import MachineConfig, Protocol
+from repro.isa.ops import Compute, Fence, Fork, Join, Read, Write
+from repro.runtime import Machine
+
+from tests.conftest import make_machine
+
+
+class TestForkJoin:
+    def test_fork_runs_child_and_join_waits(self, protocol):
+        m = make_machine(2, protocol)
+        log = []
+
+        def child():
+            yield Compute(100)
+            log.append(("child", m.sim.now))
+
+        def parent():
+            handle = yield Fork(1, child())
+            log.append(("forked", m.sim.now))
+            yield Join(handle)
+            log.append(("joined", m.sim.now))
+
+        m.spawn(0, parent())
+        m.run()
+        events = dict(log)
+        assert set(events) == {"child", "forked", "joined"}
+        assert events["joined"] >= events["child"]
+
+    def test_child_sees_parents_prefork_writes(self, protocol):
+        m = make_machine(2, protocol)
+        data = m.memmap.alloc_word(0, "data")
+
+        def child():
+            v = yield Read(data)
+            assert v == 99
+
+        def parent():
+            yield Write(data, 99)
+            yield Fence()
+            handle = yield Fork(1, child())
+            yield Join(handle)
+
+        m.spawn(0, parent())
+        m.run()
+
+    def test_parent_result_visible_after_join(self, protocol):
+        m = make_machine(2, protocol)
+        out = m.memmap.alloc_word(1, "out")
+
+        def child():
+            yield Write(out, 7)
+            yield Fence()
+
+        def parent():
+            handle = yield Fork(1, child())
+            yield Join(handle)
+            v = yield Read(out)
+            assert v == 7
+
+        m.spawn(0, parent())
+        m.run()
+
+    def test_fork_tree(self, protocol):
+        """Recursive fork: node 0 forks 1; both fork grandchildren."""
+        m = make_machine(4, protocol)
+        ran = []
+
+        def leaf(me):
+            yield Compute(10)
+            ran.append(me)
+
+        def mid(me, kid):
+            h = yield Fork(kid, leaf(kid))
+            yield Compute(5)
+            ran.append(me)
+            yield Join(h)
+
+        def root():
+            h1 = yield Fork(1, mid(1, 3))
+            h2 = yield Fork(2, leaf(2))
+            ran.append(0)
+            yield Join(h1)
+            yield Join(h2)
+
+        m.spawn(0, root())
+        m.run()
+        assert sorted(ran) == [0, 1, 2, 3]
+
+    def test_fork_onto_busy_node_rejected(self, protocol):
+        m = make_machine(2, protocol)
+
+        def child():
+            yield Compute(10)
+
+        def parent():
+            yield Fork(0, child())   # own node is busy (us!)
+
+        m.spawn(0, parent())
+        with pytest.raises(ValueError):
+            m.run()
+
+    def test_node_reusable_after_thread_finishes(self, protocol):
+        m = make_machine(2, protocol)
+        runs = []
+
+        def child(tag):
+            yield Compute(10)
+            runs.append(tag)
+
+        def parent():
+            h = yield Fork(1, child("first"))
+            yield Join(h)
+            h = yield Fork(1, child("second"))
+            yield Join(h)
+
+        m.spawn(0, parent())
+        m.run()
+        assert runs == ["first", "second"]
+
+
+class TestForkFlushOptimization:
+    def _run(self, protocol, fork_flush):
+        m = make_machine(2, protocol, fork_flush=fork_flush)
+        scratch = [m.memmap.alloc_word(0, f"s{i}") for i in range(6)]
+
+        def child():
+            # the child rewrites the parent's pre-fork data; with the
+            # parent still a sharer, every write updates it uselessly
+            for _ in range(4):
+                for i, addr in enumerate(scratch):
+                    yield Write(addr, i + 100)
+                yield Compute(50)
+            yield Fence()
+
+        def parent():
+            # pre-fork private work the child never needs
+            for i, addr in enumerate(scratch):
+                yield Write(addr, i)
+            yield Fence()
+            handle = yield Fork(1, child())
+            yield Compute(3000)        # unrelated post-fork work
+            yield Join(handle)
+
+        m.spawn(0, parent())
+        result = m.run()
+        return result
+
+    def test_flush_removes_useless_updates_under_pu(self):
+        with_flush = self._run(Protocol.PU, fork_flush=True)
+        without = self._run(Protocol.PU, fork_flush=False)
+        # paper: the flush "eliminates useless updates of data written
+        # by the parent but not subsequently needed by the child"
+        assert with_flush.updates["total"] < without.updates["total"]
+        useless_with = (with_flush.updates["total"]
+                        - with_flush.updates["useful"])
+        useless_without = (without.updates["total"]
+                           - without.updates["useful"])
+        assert useless_with < useless_without
+
+    def test_flush_is_noop_under_wi(self):
+        with_flush = self._run(Protocol.WI, fork_flush=True)
+        without = self._run(Protocol.WI, fork_flush=False)
+        assert with_flush.updates["total"] == 0
+        assert without.updates["total"] == 0

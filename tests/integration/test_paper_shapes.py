@@ -1,0 +1,231 @@
+"""Paper-shape regression tests.
+
+Each test asserts one of the qualitative results of section 4 at a
+reduced (but still meaningful) scale.  These are the guardrails that
+keep the simulator faithful to the phenomena the paper reports; the
+full-scale numbers live in EXPERIMENTS.md and the benchmarks.
+"""
+
+import pytest
+
+from repro.config import MachineConfig, Protocol
+from repro.workloads import (
+    run_barrier_workload, run_lock_workload, run_reduction_workload,
+)
+
+
+def cfg(P, protocol):
+    return MachineConfig(num_procs=P, protocol=protocol)
+
+
+def lock_lat(P, protocol, kind, total=1600, **kw):
+    return run_lock_workload(cfg(P, protocol), kind,
+                             total_acquires=total, **kw).avg_latency
+
+
+def barrier_lat(P, protocol, kind, episodes=60):
+    return run_barrier_workload(cfg(P, protocol), kind,
+                                episodes=episodes).avg_latency
+
+
+def reduction_lat(P, protocol, kind, iterations=60, **kw):
+    return run_reduction_workload(cfg(P, protocol), kind,
+                                  iterations=iterations,
+                                  **kw).avg_latency
+
+
+class TestLockShapes:
+    """Section 4.1."""
+
+    def test_ticket_update_protocols_beat_wi_at_scale(self):
+        """'the update-based protocols exchange the expensive cache
+        misses ... for corresponding update messages' (32p)."""
+        wi = lock_lat(16, Protocol.WI, "tk")
+        pu = lock_lat(16, Protocol.PU, "tk")
+        cu = lock_lat(16, Protocol.CU, "tk")
+        assert pu < wi / 1.5
+        assert cu < wi / 1.5
+
+    def test_ticket_update_best_at_small_p(self):
+        """'the ticket lock under the update-based protocols
+        outperforms all other combinations up to 4 processors'."""
+        for P in (2, 4):
+            tk_u = lock_lat(P, Protocol.PU, "tk")
+            others = [
+                lock_lat(P, Protocol.WI, "tk"),
+                lock_lat(P, Protocol.WI, "MCS"),
+                lock_lat(P, Protocol.PU, "MCS"),
+            ]
+            assert tk_u < min(others) * 1.2  # best or essentially tied
+
+    def test_mcs_cu_beats_mcs_wi_at_scale(self):
+        """'the MCS lock under CU performs best for larger numbers of
+        processors'."""
+        wi = lock_lat(16, Protocol.WI, "MCS")
+        cu = lock_lat(16, Protocol.CU, "MCS")
+        assert cu < wi
+
+    def test_mcs_beats_ticket_under_wi_at_high_contention(self):
+        wi_tk = lock_lat(16, Protocol.WI, "tk")
+        wi_mcs = lock_lat(16, Protocol.WI, "MCS")
+        assert wi_mcs < wi_tk
+
+    def test_mcs_pu_updates_mostly_useless(self):
+        """'the vast majority of updates under an update-based protocol
+        is useless' (for the MCS lock)."""
+        res = run_lock_workload(cfg(16, Protocol.PU), "MCS",
+                                total_acquires=3200)
+        upd = res.result.updates
+        useless = upd["total"] - upd["useful"]
+        assert useless > upd["useful"]
+
+    def test_uc_mcs_cuts_update_traffic(self):
+        """The paper's 39%-fewer-updates mechanism (magnitude depends
+        on queue mixing; direction must hold)."""
+        mcs = run_lock_workload(cfg(16, Protocol.PU), "MCS",
+                                total_acquires=1600)
+        uc = run_lock_workload(cfg(16, Protocol.PU), "uc",
+                               total_acquires=1600)
+        assert uc.result.updates["total"] < mcs.result.updates["total"]
+
+    def test_uc_mcs_trades_updates_for_misses(self):
+        """'...counter-balanced by an increase in cache miss
+        activity'."""
+        mcs = run_lock_workload(cfg(16, Protocol.PU), "MCS",
+                                total_acquires=1600)
+        uc = run_lock_workload(cfg(16, Protocol.PU), "uc",
+                               total_acquires=1600)
+        assert uc.result.misses["total"] > mcs.result.misses["total"]
+
+    def test_low_contention_same_qualitative_ranking(self):
+        """The random-delay variant keeps tk: update > WI (sec 4.1)."""
+        wi = lock_lat(8, Protocol.WI, "tk", delay_mode="random")
+        pu = lock_lat(8, Protocol.PU, "tk", delay_mode="random")
+        assert pu < wi
+
+
+class TestBarrierShapes:
+    """Section 4.2."""
+
+    def test_dissemination_update_beats_wi_everywhere(self):
+        """'dissemination ... significantly outperforming WI for all
+        numbers of processors'."""
+        for P in (4, 8, 16, 32):
+            wi = barrier_lat(P, Protocol.WI, "db")
+            pu = barrier_lat(P, Protocol.PU, "db")
+            cu = barrier_lat(P, Protocol.CU, "db")
+            assert pu < wi, P
+            assert cu < wi, P
+
+    def test_tree_update_beats_wi(self):
+        """'for the tree-based barrier PU and CU again perform ...
+        much better than WI'."""
+        for P in (8, 16, 32):
+            wi = barrier_lat(P, Protocol.WI, "tb")
+            pu = barrier_lat(P, Protocol.PU, "tb")
+            assert pu < wi, P
+
+    def test_dissemination_update_is_overall_best_at_scale(self):
+        """'the dissemination barrier under either PU or CU is the
+        combination of choice'."""
+        P = 32
+        best_db = min(barrier_lat(P, Protocol.PU, "db"),
+                      barrier_lat(P, Protocol.CU, "db"))
+        others = [barrier_lat(P, pr, k)
+                  for k in ("cb", "tb")
+                  for pr in (Protocol.WI, Protocol.PU, Protocol.CU)]
+        others.append(barrier_lat(P, Protocol.WI, "db"))
+        assert best_db < min(others)
+
+    def test_central_barrier_wi_wins_only_at_scale(self):
+        """'for centralized barriers the WI protocol outperforms its
+        update-based counterparts, but only for large machine
+        configurations'."""
+        # small machine: update-based wins
+        assert barrier_lat(4, Protocol.PU, "cb") < \
+            barrier_lat(4, Protocol.WI, "cb")
+        # large machine: WI beats pure update
+        assert barrier_lat(32, Protocol.WI, "cb", episodes=120) < \
+            barrier_lat(32, Protocol.PU, "cb", episodes=120)
+
+    def test_central_barrier_updates_mostly_useless(self):
+        """'the amount of update traffic these protocols generate is
+        substantial and mostly useless' (central barrier)."""
+        res = run_barrier_workload(cfg(16, Protocol.PU), "cb",
+                                   episodes=80)
+        upd = res.result.updates
+        assert upd["total"] > 0
+        assert (upd["total"] - upd["useful"]) > upd["useful"]
+
+    def test_dissemination_updates_all_useful(self):
+        """'the update behavior of the dissemination barrier under CU
+        and PU is very good (as can be seen by their lack of useless
+        update messages)'."""
+        res = run_barrier_workload(cfg(16, Protocol.PU), "db",
+                                   episodes=80)
+        upd = res.result.updates
+        assert upd["useful"] >= 0.9 * upd["total"]
+
+    def test_tree_updates_more_useful_than_central(self):
+        """Scalable barriers' update traffic is 'light and mostly
+        useful' relative to the centralized barrier.  (The tree's
+        packed child-flag word makes sibling updates partly
+        proliferation at word granularity, so its useful fraction sits
+        between dissemination's ~100% and the central barrier's.)"""
+        tb = run_barrier_workload(cfg(16, Protocol.PU), "tb",
+                                  episodes=80).result.updates
+        cb = run_barrier_workload(cfg(16, Protocol.PU), "cb",
+                                  episodes=80).result.updates
+        tb_frac = tb["useful"] / tb["total"]
+        cb_frac = cb["useful"] / cb["total"]
+        assert tb_frac >= 0.45
+        assert tb_frac > cb_frac
+
+    def test_dissemination_wi_misses_dominated_by_true_sharing(self):
+        res = run_barrier_workload(cfg(16, Protocol.WI), "db",
+                                   episodes=80)
+        misses = res.result.misses
+        assert misses["true"] > misses["total"] / 2
+
+
+class TestReductionShapes:
+    """Section 4.3."""
+
+    def test_parallel_beats_sequential_under_wi(self):
+        P = 32
+        sr = reduction_lat(P, Protocol.WI, "sr")
+        pr = reduction_lat(P, Protocol.WI, "pr")
+        assert pr < sr
+
+    def test_sequential_beats_parallel_under_update(self):
+        P = 32
+        for proto in (Protocol.PU, Protocol.CU):
+            sr = reduction_lat(P, proto, "sr")
+            pr = reduction_lat(P, proto, "pr")
+            assert sr < pr, proto
+
+    def test_update_sequential_beats_wi_parallel(self):
+        """'update-based sequential reductions always exhibit better
+        performance than parallel reductions under WI'."""
+        for P in (8, 16, 32):
+            sr_u = reduction_lat(P, Protocol.PU, "sr")
+            pr_i = reduction_lat(P, Protocol.WI, "pr")
+            assert sr_u < pr_i, P
+
+    def test_reduction_updates_large_useful_fraction(self):
+        """'both parallel and sequential reductions exhibit a large
+        percentage of useful updates'."""
+        res = run_reduction_workload(cfg(16, Protocol.PU), "sr",
+                                     iterations=60)
+        upd = res.result.updates
+        assert upd["useful"] >= 0.3 * upd["total"]
+
+    def test_imbalance_makes_parallel_competitive(self):
+        """'parallel reductions become more efficient than their
+        sequential counterparts' under load imbalance ... 'but still
+        parallel reductions with PU and CU perform better than parallel
+        reductions with WI'."""
+        P = 16
+        pr_u = reduction_lat(P, Protocol.PU, "pr", imbalance=True)
+        pr_i = reduction_lat(P, Protocol.WI, "pr", imbalance=True)
+        assert pr_u < pr_i

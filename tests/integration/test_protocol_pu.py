@@ -1,0 +1,408 @@
+"""Scenario tests for the pure-update protocol."""
+
+import pytest
+
+from repro.config import Protocol
+from repro.isa.ops import (
+    Compute, Fence, FetchAdd, Flush, Read, SpinUntil, Write,
+)
+from repro.memsys.cache import CacheState
+from repro.memsys.directory import DirState
+from repro.network.messages import MsgType
+
+from tests.conftest import make_machine, run_programs
+
+
+def pu_machine(n=4, **kw):
+    return make_machine(n, Protocol.PU, **kw)
+
+
+def idle():
+    if False:
+        yield
+
+
+class TestWriteThrough:
+    def test_write_reaches_home_memory(self):
+        m = pu_machine(retain_private=False)
+        addr = m.memmap.alloc_word(1)
+
+        def writer(node):
+            yield Write(addr, 55)
+            yield Fence()
+
+        run_programs(m, writer(0))
+        word = m.config.word_of(addr)
+        assert m.controllers[1].mem.read_word(word) == 55
+
+    def test_sharer_cache_updated_in_place(self):
+        m = pu_machine()
+        addr = m.memmap.alloc_word(2, init=1)
+
+        def reader(node):
+            v = yield Read(addr)      # becomes a sharer
+            assert v == 1
+            v = yield SpinUntil(addr, lambda v: v == 2)
+            assert v == 2
+            # the block never left the cache: updated in place
+            assert m.controllers[0].cache.contains(
+                m.config.block_of(addr))
+
+        def writer(node):
+            yield Compute(300)
+            yield Write(addr, 2)
+            yield Fence()
+
+        run_programs(m, reader(0), writer(1))
+        assert m.update_classifier.useful_updates() >= 1
+
+    def test_no_invalidations_ever(self):
+        m = pu_machine()
+        addr = m.memmap.alloc_word(0, init=0)
+
+        def reader(node):
+            yield Read(addr)
+            yield SpinUntil(addr, lambda v: v == 3)
+
+        def writer(node):
+            yield Compute(100)
+            for i in range(1, 4):
+                yield Write(addr, i)
+            yield Fence()
+
+        run_programs(m, reader(0), writer(1))
+        assert MsgType.INV not in m.net.stats.by_type
+        assert m.miss_classifier.as_dict()["true"] == 0
+
+    def test_write_allocate_fetches_block(self):
+        m = pu_machine()
+        addr = m.memmap.alloc_word(1, init=7)
+
+        def writer(node):
+            yield Write(addr, 9)     # miss -> allocate -> write through
+            yield Fence()
+
+        run_programs(m, writer(0))
+        block = m.config.block_of(addr)
+        line = m.controllers[0].cache.lookup(block)
+        assert line is not None
+        assert line.data[m.config.word_of(addr)] == 9
+        # the write miss was classified
+        assert m.miss_classifier.as_dict()["cold"] >= 1
+
+    def test_own_copy_visible_immediately_via_wb_forwarding(self):
+        m = pu_machine()
+        addr = m.memmap.alloc_word(3)
+
+        def writer(node):
+            yield Write(addr, 4)
+            v = yield Read(addr)      # forwarded from WB or own cache
+            assert v == 4
+
+        run_programs(m, writer(0))
+
+    def test_write_ordering_across_different_homes(self):
+        """Program-order writes to blocks homed at different nodes must
+        become globally visible in order (MCS lock correctness)."""
+        m = pu_machine()
+        a = m.memmap.alloc_word(1)   # homed at 1
+        b = m.memmap.alloc_word(2)   # homed at 2
+
+        def writer(node):
+            yield Write(a, 1)
+            yield Write(b, 1)
+            yield Fence()
+
+        def checker(node):
+            yield SpinUntil(b, lambda v: v == 1)
+            v = yield Read(a)
+            assert v == 1   # a's write was performed before b's
+
+        run_programs(m, writer(0), checker(3))
+
+
+class TestRetainPrivate:
+    def test_private_block_gets_retained(self):
+        m = pu_machine()
+        addr = m.memmap.alloc_word(1)
+
+        def writer(node):
+            yield Write(addr, 1)     # allocate + write through
+            yield Fence()
+            yield Write(addr, 2)     # sole cacher -> retain granted
+            yield Fence()
+            yield Write(addr, 3)     # now local
+            yield Fence()
+
+        run_programs(m, writer(0))
+        block = m.config.block_of(addr)
+        line = m.controllers[0].cache.lookup(block)
+        assert line.state is CacheState.RETAINED
+        ent = m.controllers[1].directory.entry(block)
+        assert ent.state is DirState.DIRTY and ent.owner == 0
+
+    def test_retained_writes_generate_no_traffic(self):
+        m = pu_machine()
+        addr = m.memmap.alloc_word(1)
+        counts = {}
+
+        def writer(node):
+            yield Write(addr, 1)
+            yield Fence()
+            yield Write(addr, 2)
+            yield Fence()
+            counts["before"] = m.net.stats.messages
+            for i in range(10):
+                yield Write(addr, i)
+            yield Fence()
+            counts["after"] = m.net.stats.messages
+
+        run_programs(m, writer(0))
+        assert counts["after"] == counts["before"]
+
+    def test_remote_read_recalls_retained_block(self):
+        m = pu_machine()
+        addr = m.memmap.alloc_word(1)
+        flag = m.memmap.alloc_word(3)
+
+        def writer(node):
+            yield Write(addr, 1)
+            yield Fence()
+            yield Write(addr, 42)    # retained by now
+            yield Fence()
+            yield Write(flag, 1)
+            yield Fence()
+
+        def reader(node):
+            yield SpinUntil(flag, lambda v: v == 1)
+            v = yield Read(addr)
+            assert v == 42           # recalled dirty data
+
+        # programs land on nodes 0 and 1 (positional)
+        run_programs(m, writer(0), reader(1))
+        block = m.config.block_of(addr)
+        # writer demoted back to VALID, both are sharers now
+        assert m.controllers[0].cache.lookup(block).state is \
+            CacheState.VALID
+        ent = m.controllers[1].directory.entry(block)
+        assert ent.state is DirState.SHARED
+        assert ent.sharers == {0, 1}
+        assert MsgType.RECALL in m.net.stats.by_type
+
+    def test_retain_disabled_by_config(self):
+        m = pu_machine(retain_private=False)
+        addr = m.memmap.alloc_word(1)
+
+        def writer(node):
+            for i in range(5):
+                yield Write(addr, i)
+            yield Fence()
+
+        run_programs(m, writer(0))
+        block = m.config.block_of(addr)
+        assert m.controllers[0].cache.lookup(block).state is \
+            CacheState.VALID
+
+
+class TestAtomicsAtMemory:
+    def test_fetch_add_computed_at_home(self):
+        m = pu_machine()
+        addr = m.memmap.alloc_word(1)
+        results = []
+
+        def adder(node):
+            old = yield FetchAdd(addr, 1)
+            results.append(old)
+
+        run_programs(m, *(adder(i) for i in range(4)))
+        assert sorted(results) == [0, 1, 2, 3]
+        assert m.controllers[1].mem.read_word(m.config.word_of(addr)) == 4
+
+    def test_atomic_does_not_allocate(self):
+        m = pu_machine()
+        addr = m.memmap.alloc_word(1)
+
+        def adder(node):
+            yield FetchAdd(addr, 1)
+
+        run_programs(m, adder(0))
+        assert not m.controllers[0].cache.contains(
+            m.config.block_of(addr))
+
+    def test_atomic_updates_sharers(self):
+        m = pu_machine()
+        addr = m.memmap.alloc_word(1, init=0)
+
+        def reader(node):
+            yield Read(addr)                      # become a sharer
+            v = yield SpinUntil(addr, lambda v: v == 5)
+            assert v == 5
+
+        def adder(node):
+            yield Compute(200)
+            yield FetchAdd(addr, 5)
+
+        run_programs(m, reader(0), adder(2))
+
+    def test_atomic_recalls_retained_block(self):
+        m = pu_machine()
+        addr = m.memmap.alloc_word(1)
+
+        def owner(node):
+            yield Write(addr, 10)
+            yield Fence()
+            yield Write(addr, 20)      # retained
+            yield Fence()
+            yield Compute(50)
+            old = yield FetchAdd(addr, 1)   # must see 20, not stale 10
+            assert old == 20
+
+        run_programs(m, owner(0))
+
+
+class TestFlushAndDrop:
+    def test_flush_notifies_home(self):
+        m = pu_machine()
+        addr = m.memmap.alloc_word(1, init=3)
+
+        def prog(node):
+            yield Read(addr)
+            yield Flush(addr)
+            yield Compute(100)
+
+        run_programs(m, prog(0))
+        block = m.config.block_of(addr)
+        ent = m.controllers[1].directory.entry(block)
+        assert 0 not in ent.sharers
+
+    def test_flushed_node_stops_receiving_updates(self):
+        m = pu_machine()
+        addr = m.memmap.alloc_word(1, init=0)
+        flag = m.memmap.alloc_word(3)
+
+        def flusher(node):
+            yield Read(addr)
+            yield Flush(addr)
+            yield Write(flag, 1)
+            yield Fence()
+
+        def writer(node):
+            yield Read(addr)                     # stay a sharer
+            yield SpinUntil(flag, lambda v: v == 1)
+            yield Compute(100)
+            before = m.update_classifier.stale_deliveries
+            yield Write(addr, 9)
+            yield Fence()
+            # no stale delivery: the home knows node 0 is gone
+            assert m.update_classifier.stale_deliveries == before
+
+        run_programs(m, flusher(0), writer(2))
+
+    def test_flush_of_retained_block_writes_back(self):
+        m = pu_machine()
+        addr = m.memmap.alloc_word(1)
+
+        def prog(node):
+            yield Write(addr, 1)
+            yield Fence()
+            yield Write(addr, 77)     # retained
+            yield Fence()
+            yield Flush(addr)
+            yield Compute(200)
+            v = yield Read(addr)
+            assert v == 77            # survived via writeback
+
+        run_programs(m, prog(0))
+
+
+class TestCompetitiveUpdate:
+    def cu_machine(self, n=4, **kw):
+        return make_machine(n, Protocol.CU, **kw)
+
+    def test_block_dropped_after_threshold_updates(self):
+        m = self.cu_machine()
+        addr = m.memmap.alloc_word(1, init=0)
+        flag = m.memmap.alloc_word(3)
+
+        def reader(node):
+            yield Read(addr)          # cache the block
+            yield SpinUntil(flag, lambda v: v == 1)
+
+        def writer(node):
+            yield Compute(100)
+            # unreferenced updates: threshold (4) drops the block at 0
+            for i in range(1, 7):
+                yield Write(addr, i)
+                yield Compute(100)
+            yield Fence()
+            yield Write(flag, 1)
+            yield Fence()
+
+        run_programs(m, reader(0), writer(2))
+        assert not m.controllers[0].cache.contains(
+            m.config.block_of(addr))
+        assert m.update_classifier.counts[
+            __import__("repro.classify", fromlist=["UpdateClass"])
+            .UpdateClass.DROP] == 1
+
+    def test_references_reset_counter(self):
+        m = self.cu_machine()
+        addr = m.memmap.alloc_word(1, init=0)
+
+        def spinner(node):
+            # spins: every update is referenced -> counter resets
+            v = yield SpinUntil(addr, lambda v: v == 20)
+            assert v == 20
+            assert m.controllers[0].cache.contains(
+                m.config.block_of(addr))
+
+        def writer(node):
+            yield Compute(100)
+            for i in range(1, 21):
+                yield Write(addr, i)
+                yield Compute(60)
+            yield Fence()
+
+        run_programs(m, spinner(0), writer(2))
+
+    def test_dropped_block_remiss_is_drop_miss(self):
+        m = self.cu_machine()
+        addr = m.memmap.alloc_word(1, init=0)
+        flag = m.memmap.alloc_word(3)
+
+        def reader(node):
+            yield Read(addr)
+            yield SpinUntil(flag, lambda v: v == 1)
+            v = yield Read(addr)      # drop miss
+            assert v == 6
+
+        def writer(node):
+            yield Compute(100)
+            for i in range(1, 7):
+                yield Write(addr, i)
+                yield Compute(100)
+            yield Fence()
+            yield Write(flag, 1)
+            yield Fence()
+
+        run_programs(m, reader(0), writer(2))
+        assert m.miss_classifier.as_dict()["drop"] == 1
+
+    def test_custom_threshold(self):
+        m = self.cu_machine(update_threshold=2)
+        addr = m.memmap.alloc_word(1, init=0)
+
+        def reader(node):
+            yield Read(addr)
+            yield Compute(2000)
+
+        def writer(node):
+            yield Compute(100)
+            yield Write(addr, 1)
+            yield Compute(100)
+            yield Write(addr, 2)     # second unreferenced update: drop
+            yield Fence()
+
+        run_programs(m, reader(0), writer(2))
+        assert not m.controllers[0].cache.contains(
+            m.config.block_of(addr))

@@ -1,0 +1,176 @@
+"""Stress tests: tiny caches force evictions/writebacks to race with
+every protocol transaction; heavy fan-in hammers single homes.
+
+These runs exist to exercise the rare paths (FWD_NACK retries, recalls
+of evicted blocks, stale-update deliveries, retain-cancel) under load,
+with functional results checked."""
+
+import pytest
+
+from repro.config import MachineConfig, Protocol
+from repro.isa.ops import Compute, Fence, FetchAdd, Read, Write
+from repro.network.messages import MsgType
+from repro.runtime import Machine
+
+from tests.conftest import ALL_PROTOCOLS, make_machine
+
+
+class TestTinyCacheStress:
+    """4-line caches: every few accesses evict something."""
+
+    @pytest.mark.parametrize("protocol", ALL_PROTOCOLS,
+                             ids=lambda p: p.value)
+    def test_value_integrity_under_constant_eviction(self, protocol):
+        P = 4
+        m = make_machine(P, protocol, cache_size_bytes=4 * 64,
+                         max_events=10_000_000)
+        # 12 words spread over 12 blocks: 3x the cache capacity
+        words = [m.memmap.alloc_word(i % P, f"w{i}") for i in range(12)]
+        sums = []
+
+        def prog(node):
+            acc = 0
+            for rounds in range(6):
+                for i, addr in enumerate(words):
+                    if (i + node) % 3 == 0:
+                        yield Write(addr, node * 100 + i)
+                    else:
+                        v = yield Read(addr)
+                        acc += v
+                yield Compute(7)
+            yield Fence()
+            sums.append(acc)
+
+        m.spawn_all(lambda n: prog(n))
+        result = m.run()
+        m.check_coherence_invariants()
+        # evictions definitely happened
+        assert result.misses["eviction"] > 0
+
+    @pytest.mark.parametrize("protocol", ALL_PROTOCOLS,
+                             ids=lambda p: p.value)
+    def test_single_writer_survives_eviction_churn(self, protocol):
+        m = make_machine(2, protocol, cache_size_bytes=2 * 64,
+                         max_events=10_000_000)
+        target = m.memmap.alloc_word(1, "target")
+        churn = [m.memmap.alloc_word(0, f"c{i}") for i in range(6)]
+
+        def writer(node):
+            for i in range(20):
+                yield Write(target, i + 1)
+                # churn through conflicting blocks to evict target
+                for addr in churn:
+                    yield Read(addr)
+            yield Fence()
+
+        def reader(node):
+            last = 0
+            for _ in range(30):
+                v = yield Read(target)
+                assert v >= last, "reader saw time run backwards"
+                last = v
+                yield Compute(13)
+
+        m.spawn(0, writer(0))
+        m.spawn(1, reader(1))
+        m.run()
+        m.check_coherence_invariants()
+
+    def test_retained_block_evicted_then_recalled(self):
+        """PU: retain a block, evict it (writeback), then a remote read
+        races the writeback (FWD_NACK path)."""
+        m = make_machine(2, Protocol.PU, cache_size_bytes=2 * 64,
+                         max_events=10_000_000)
+        target = m.memmap.alloc_word(0, "t")
+        # same cache line as target (2-line cache: +2 blocks * P)
+        conflict = target + 2 * 64 * 2
+        flag = m.memmap.alloc_word(1, "flag")
+
+        def owner(node):
+            yield Write(target, 1)
+            yield Fence()
+            yield Write(target, 42)      # retained now
+            yield Fence()
+            yield Write(flag, 1)
+            yield Fence()
+            yield Read(conflict)         # evicts the retained block
+            yield Compute(5)
+
+        def reader(node):
+            from repro.isa.ops import SpinUntil
+            yield SpinUntil(flag, lambda v: v == 1)
+            v = yield Read(target)       # may race the writeback
+            assert v == 42
+
+        m.spawn(0, owner(0))
+        m.spawn(1, reader(1))
+        m.run()
+        m.check_coherence_invariants()
+
+
+class TestFanInStress:
+    @pytest.mark.parametrize("protocol", ALL_PROTOCOLS,
+                             ids=lambda p: p.value)
+    def test_all_nodes_hammer_one_word(self, protocol):
+        P = 16
+        m = make_machine(P, protocol, max_events=20_000_000)
+        hot = m.memmap.alloc_word(0, "hot")
+
+        def prog(node):
+            for _ in range(10):
+                yield FetchAdd(hot, 1)
+                yield Read(hot)
+                yield Write(hot, node)
+                yield Compute(3)
+            yield Fence()
+
+        m.spawn_all(lambda n: prog(n))
+        result = m.run()
+        m.check_coherence_invariants()
+        assert m.quiesced()
+
+    @pytest.mark.parametrize("protocol", ALL_PROTOCOLS,
+                             ids=lambda p: p.value)
+    def test_write_buffer_saturation(self, protocol):
+        """Back-to-back writes to distinct blocks fill the 4-entry WB;
+        the processor must stall and drain correctly."""
+        m = make_machine(4, protocol, max_events=10_000_000)
+        words = [m.memmap.alloc_word(i % 4, f"b{i}") for i in range(10)]
+
+        def prog(node):
+            for r in range(5):
+                for addr in words:
+                    yield Write(addr, node * 1000 + r)
+            yield Fence()
+            # everything retired: the buffer is empty
+            assert m.controllers[node].wb.empty
+
+        m.spawn_all(lambda n: prog(n))
+        m.run()
+        m.check_coherence_invariants()
+
+    def test_stale_update_deliveries_are_acked(self):
+        """CU at threshold 1: every second update finds the block gone;
+        the writer must still collect all its acks (no fence hangs)."""
+        m = make_machine(4, Protocol.CU, update_threshold=1,
+                         max_events=10_000_000)
+        shared = m.memmap.alloc_word(0, "s")
+
+        def reader(node):
+            for _ in range(10):
+                yield Read(shared)
+                yield Compute(40)
+
+        def writer(node):
+            for i in range(25):
+                yield Write(shared, i)
+                yield Compute(11)
+            yield Fence()
+
+        m.spawn(0, reader(0))
+        m.spawn(1, writer(1))
+        m.spawn(2, reader(2))
+        m.spawn(3, writer(3))
+        m.run()
+        m.check_coherence_invariants()
+        assert all(c.outstanding_acks == 0 for c in m.controllers)

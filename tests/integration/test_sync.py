@@ -1,0 +1,366 @@
+"""Integration tests for locks, barriers, reductions and ideal sync,
+run under every coherence protocol."""
+
+import pytest
+
+from repro.config import Protocol
+from repro.isa.ops import Compute, Read, Write
+from repro.sync import (
+    IdealBarrier, IdealLock, MCSLock, ParallelReduction,
+    SequentialReduction, TicketLock, UpdateConsciousMCSLock, make_barrier,
+    make_lock, make_reduction,
+)
+from repro.workloads.reductions import local_value
+
+from tests.conftest import make_machine, run_programs
+
+LOCK_CLASSES = [TicketLock, MCSLock, UpdateConsciousMCSLock]
+BARRIER_KINDS = ["cb", "db", "tb"]
+
+
+@pytest.fixture(params=LOCK_CLASSES, ids=lambda c: c.name)
+def lock_cls(request):
+    return request.param
+
+
+class TestLockMutualExclusion:
+    @pytest.mark.parametrize("P", [2, 5, 8])
+    def test_mutual_exclusion_and_progress(self, protocol, lock_cls, P):
+        m = make_machine(P, protocol)
+        lock = lock_cls(m)
+        state = {"in_cs": 0, "peak": 0, "done": 0}
+        shared = m.memmap.alloc_word(0)
+
+        def prog(node):
+            for _ in range(4):
+                token = yield from lock.acquire(node)
+                state["in_cs"] += 1
+                state["peak"] = max(state["peak"], state["in_cs"])
+                v = yield Read(shared)
+                yield Compute(15)
+                yield Write(shared, v + 1)
+                state["in_cs"] -= 1
+                state["done"] += 1
+                yield from lock.release(node, token)
+
+        m.spawn_all(prog)
+        m.run()
+        assert state["peak"] == 1
+        assert state["done"] == 4 * P
+
+    def test_critical_section_counter_is_exact(self, protocol, lock_cls):
+        """The shared counter incremented under the lock must equal the
+        total number of critical sections (no lost updates)."""
+        P = 6
+        m = make_machine(P, protocol)
+        lock = lock_cls(m)
+        shared = m.memmap.alloc_word(0)
+        finals = []
+
+        def prog(node):
+            last = 0
+            for _ in range(5):
+                token = yield from lock.acquire(node)
+                v = yield Read(shared)
+                yield Write(shared, v + 1)
+                last = v + 1
+                yield from lock.release(node, token)
+            finals.append(last)
+
+        m.spawn_all(prog)
+        m.run()
+        assert max(finals) == 5 * P
+
+
+class TestLockSemantics:
+    def test_ticket_lock_is_fifo(self, protocol):
+        """Tickets are served in ticket order."""
+        m = make_machine(4, protocol)
+        lock = TicketLock(m)
+        order = []
+
+        def prog(node):
+            token = yield from lock.acquire(node)
+            order.append(token)
+            yield Compute(30)
+            yield from lock.release(node, token)
+
+        m.spawn_all(prog)
+        m.run()
+        assert order == sorted(order)
+
+    def test_mcs_queue_is_fifo(self, protocol):
+        """Once queued, MCS hands the lock over in queue order."""
+        m = make_machine(6, protocol)
+        lock = MCSLock(m)
+        entered = []
+
+        def prog(node):
+            yield Compute(node * 500)    # stagger arrivals clearly
+            tok = yield from lock.acquire(node)
+            entered.append(node)
+            yield Compute(2000)          # force everyone to queue
+            yield from lock.release(node, tok)
+
+        m.spawn_all(prog)
+        m.run()
+        assert entered == sorted(entered)
+
+    def test_uncontended_acquire_is_cheap(self, protocol, lock_cls):
+        m = make_machine(2, protocol)
+        lock = lock_cls(m)
+        times = {}
+
+        def prog(node):
+            t0 = m.sim.now
+            tok = yield from lock.acquire(node)
+            yield from lock.release(node, tok)
+            times["first"] = m.sim.now - t0
+            t0 = m.sim.now
+            tok = yield from lock.acquire(node)
+            yield from lock.release(node, tok)
+            times["second"] = m.sim.now - t0
+
+        def other(node):
+            yield Compute(1)
+
+        run_programs(m, prog(0), other(1))
+        # warm acquire/release should be well under a miss-storm
+        assert times["second"] < 400
+
+    def test_uc_mcs_flushes_reduce_updates_under_pu(self):
+        """The update-conscious MCS lock must generate fewer update
+        messages than the standard MCS lock (the paper's 39% claim,
+        qualitatively)."""
+        results = {}
+        for cls in (MCSLock, UpdateConsciousMCSLock):
+            m = make_machine(8, Protocol.PU)
+            lock = cls(m)
+
+            def prog(node, lock=lock):
+                for _ in range(12):
+                    tok = yield from lock.acquire(node)
+                    yield Compute(20)
+                    yield from lock.release(node, tok)
+                    yield Compute((node * 37) % 150)
+
+            m.spawn_all(prog)
+            r = m.run()
+            results[cls.name] = r.updates["total"]
+        assert results["uc"] < results["MCS"]
+
+
+class TestBarriers:
+    @pytest.mark.parametrize("kind", BARRIER_KINDS)
+    @pytest.mark.parametrize("P", [1, 2, 5, 8, 16])
+    def test_no_thread_runs_ahead(self, protocol, kind, P):
+        m = make_machine(P, protocol)
+        bar = make_barrier(kind, m)
+        phase = [0] * P
+        bad = []
+
+        def prog(node):
+            for ep in range(5):
+                phase[node] = ep
+                yield from bar.wait(node)
+                if min(phase) < ep:
+                    bad.append((node, ep, list(phase)))
+
+        m.spawn_all(prog)
+        m.run()
+        assert not bad
+
+    @pytest.mark.parametrize("kind", BARRIER_KINDS)
+    def test_skewed_arrivals(self, protocol, kind):
+        """Barriers must work when arrival times are wildly uneven."""
+        P = 7
+        m = make_machine(P, protocol)
+        bar = make_barrier(kind, m)
+        out = []
+
+        def prog(node):
+            for ep in range(3):
+                yield Compute(node * 700 + ep * 13)
+                yield from bar.wait(node)
+                out.append((ep, node))
+
+        m.spawn_all(prog)
+        m.run()
+        # all episode-0 exits precede all episode-1 exits, etc.
+        eps = [ep for ep, _ in out]
+        assert eps == sorted(eps)
+
+    @pytest.mark.parametrize("kind", BARRIER_KINDS)
+    def test_data_visibility_across_barrier(self, protocol, kind):
+        """Writes before a barrier are visible after it."""
+        P = 4
+        m = make_machine(P, protocol)
+        bar = make_barrier(kind, m)
+        slots = [m.memmap.alloc_word(i) for i in range(P)]
+
+        def prog(node):
+            yield Write(slots[node], node + 100)
+            yield from bar.wait(node)
+            for i in range(P):
+                v = yield Read(slots[i])
+                assert v == i + 100, (node, i, v)
+
+        m.spawn_all(prog)
+        m.run()
+
+    def test_central_barrier_counter_resets(self, protocol):
+        m = make_machine(3, protocol)
+        bar = make_barrier("cb", m)
+
+        def prog(node):
+            for _ in range(4):
+                yield from bar.wait(node)
+
+        m.spawn_all(prog)
+        m.run()
+        word = m.config.word_of(bar.count)
+        home = m.memmap.home_of(bar.count)
+        assert m.controllers[home].mem.read_word(word) == 3 or \
+            any(c.cache.contains(m.config.block_of(bar.count))
+                and c.cache.read_word(m.config.block_of(bar.count),
+                                      word) == 3
+                for c in m.controllers)
+
+
+class TestIdealSync:
+    def test_ideal_lock_mutual_exclusion_and_fifo(self, protocol):
+        m = make_machine(4, protocol)
+        lock = IdealLock(m)
+        state = {"in": 0, "peak": 0}
+
+        def prog(node):
+            for _ in range(3):
+                yield from lock.acquire(node)
+                state["in"] += 1
+                state["peak"] = max(state["peak"], state["in"])
+                yield Compute(25)
+                state["in"] -= 1
+                yield from lock.release(node)
+
+        m.spawn_all(prog)
+        r = m.run()
+        assert state["peak"] == 1
+        assert len(lock.grant_log) == 12
+
+    def test_ideal_lock_generates_no_traffic(self, protocol):
+        m = make_machine(4, protocol)
+        lock = IdealLock(m)
+
+        def prog(node):
+            for _ in range(3):
+                yield from lock.acquire(node)
+                yield Compute(10)
+                yield from lock.release(node)
+
+        m.spawn_all(prog)
+        r = m.run()
+        assert r.network.messages == 0
+
+    def test_ideal_barrier_synchronizes_without_traffic(self, protocol):
+        m = make_machine(5, protocol)
+        bar = IdealBarrier(m)
+        phase = [0] * 5
+        bad = []
+
+        def prog(node):
+            for ep in range(4):
+                phase[node] = ep
+                yield Compute(node * 97)
+                yield from bar.wait(node)
+                if min(phase) < ep:
+                    bad.append(node)
+
+        m.spawn_all(prog)
+        r = m.run()
+        assert not bad
+        assert bar.episodes == 4
+        assert r.network.messages == 0
+
+    def test_ideal_lock_release_unheld_raises(self, protocol):
+        m = make_machine(1, protocol)
+        lock = IdealLock(m)
+
+        def prog(node):
+            yield from lock.release(node)
+
+        m.spawn(0, prog(0))
+        with pytest.raises(RuntimeError):
+            m.run()
+
+
+class TestReductions:
+    def test_parallel_reduction_computes_max(self, protocol):
+        P = 6
+        m = make_machine(P, protocol)
+        red = ParallelReduction(m, IdealLock(m), IdealBarrier(m))
+        got = []
+
+        def prog(node):
+            for it in range(3):
+                v = local_value(node, it)
+                result = yield from red.reduce(node, v)
+                got.append((it, node, result))
+
+        m.spawn_all(prog)
+        m.run()
+        for it in range(3):
+            expected = max(local_value(n, j)
+                           for n in range(P) for j in range(it + 1))
+            for e, node, result in got:
+                if e == it:
+                    assert result == expected
+
+    @pytest.mark.parametrize("padded", [True, False])
+    def test_sequential_reduction_computes_max(self, protocol, padded):
+        P = 5
+        m = make_machine(P, protocol)
+        red = SequentialReduction(m, IdealBarrier(m), padded=padded)
+        got = []
+
+        def prog(node):
+            for it in range(3):
+                v = local_value(node, it)
+                result = yield from red.reduce(node, v)
+                got.append((it, result))
+
+        m.spawn_all(prog)
+        m.run()
+        for it, result in got:
+            expected = max(local_value(n, j)
+                           for n in range(P) for j in range(it + 1))
+            assert result == expected
+
+    def test_make_reduction_factory(self, protocol):
+        m = make_machine(2, protocol)
+        r1 = make_reduction("sr", m, barrier=IdealBarrier(m))
+        assert isinstance(r1, SequentialReduction)
+        r2 = make_reduction("pr", m, lock=IdealLock(m),
+                            barrier=IdealBarrier(m))
+        assert isinstance(r2, ParallelReduction)
+        with pytest.raises(ValueError):
+            make_reduction("pr", m)
+        with pytest.raises(ValueError):
+            make_reduction("bogus", m, barrier=IdealBarrier(m))
+
+
+class TestFactories:
+    def test_make_lock(self, protocol):
+        m = make_machine(2, protocol)
+        assert isinstance(make_lock("tk", m), TicketLock)
+        assert isinstance(make_lock("MCS", m), MCSLock)
+        assert isinstance(make_lock("uc", m), UpdateConsciousMCSLock)
+        with pytest.raises(ValueError):
+            make_lock("futex", m)
+
+    def test_make_barrier(self, protocol):
+        m = make_machine(2, protocol)
+        for kind in BARRIER_KINDS:
+            b = make_barrier(kind, m)
+            assert b.name == kind
+        with pytest.raises(ValueError):
+            make_barrier("combining", m)

@@ -1,0 +1,158 @@
+"""Tests for the trace-driven front end."""
+
+import pytest
+
+from repro.config import MachineConfig, Protocol
+from repro.isa.ops import Compute, Fence, FetchAdd, Read, SpinUntil, Write
+from repro.runtime import Machine
+from repro.tracefe import (
+    TraceOp, TraceRecord, capture_program, format_trace, parse_trace,
+    run_trace, trace_program,
+)
+
+from tests.conftest import make_machine
+
+
+class TestFormat:
+    def test_roundtrip(self):
+        records = [
+            TraceRecord(0, TraceOp.READ, 0x40),
+            TraceRecord(0, TraceOp.WRITE, 0x40, 7),
+            TraceRecord(1, TraceOp.ATOMIC_ADD, 0x80, 2),
+            TraceRecord(1, TraceOp.COMPUTE, arg=50),
+            TraceRecord(0, TraceOp.FLUSH, 0x40),
+            TraceRecord(0, TraceOp.FENCE),
+        ]
+        assert parse_trace(format_trace(records)) == records
+
+    def test_comments_and_blanks(self):
+        text = """
+        # a comment
+        0 R 0x40   # trailing comment
+
+        1 W 64 5
+        """
+        records = parse_trace(text)
+        assert len(records) == 2
+        assert records[1] == TraceRecord(1, TraceOp.WRITE, 64, 5)
+
+    def test_bad_lines_rejected(self):
+        for bad in ("0 X 0x40", "R 0x40", "0 W", "zero R 0x40"):
+            with pytest.raises(ValueError):
+                parse_trace(bad)
+
+    def test_hex_and_decimal_addresses(self):
+        assert parse_trace("0 R 0x40")[0].addr == 64
+        assert parse_trace("0 R 64")[0].addr == 64
+
+
+class TestReplay:
+    def test_simple_trace_runs(self, protocol):
+        text = """
+        0 W 0x0 5
+        0 B
+        1 R 0x0
+        1 C 20
+        0 A 0x40 1
+        1 A 0x40 1
+        """
+        cfg = MachineConfig(num_procs=2, protocol=protocol)
+        result, machine = run_trace(cfg, parse_trace(text))
+        assert result.total_cycles > 0
+        word = machine.config.word_of(0x40)
+        home = machine.memmap.home_of(0x40)
+        # the two fetch_and_adds happened (value in memory or a cache)
+        from repro.memsys.cache import CacheState
+        vals = [machine.controllers[home].mem.read_word(word)]
+        for c in machine.controllers:
+            line = c.cache.lookup(machine.config.block_of(0x40))
+            if line is not None:
+                vals.append(line.data.get(word, 0))
+        assert 2 in vals
+
+    def test_trace_outside_machine_rejected(self, protocol):
+        cfg = MachineConfig(num_procs=2, protocol=protocol)
+        with pytest.raises(ValueError, match="outside"):
+            run_trace(cfg, [TraceRecord(5, TraceOp.READ, 0)])
+
+    def test_idle_nodes_allowed(self, protocol):
+        cfg = MachineConfig(num_procs=4, protocol=protocol)
+        result, _ = run_trace(cfg, [TraceRecord(2, TraceOp.READ, 0)])
+        assert result.total_cycles > 0
+
+    def test_same_trace_same_protocol_deterministic(self, protocol):
+        text = "\n".join(f"{n} W {64 * n + 4 * i:#x} {i}"
+                         for n in range(3) for i in range(5))
+        cfg = MachineConfig(num_procs=3, protocol=protocol)
+        r1, _ = run_trace(cfg, parse_trace(text))
+        r2, _ = run_trace(cfg, parse_trace(text))
+        assert r1.total_cycles == r2.total_cycles
+        assert r1.misses == r2.misses
+
+
+class TestCapture:
+    def test_capture_then_replay_matches_traffic(self, protocol):
+        """A captured program replayed as a trace produces the same
+        classified traffic as the original run."""
+        def build(run_captured):
+            cfg = MachineConfig(num_procs=2, protocol=protocol)
+            m = Machine(cfg, max_events=500_000)
+            a = m.memmap.alloc_word(0, "a")
+            b = m.memmap.alloc_word(1, "b")
+
+            def prog(node):
+                for i in range(4):
+                    yield Write(a if node == 0 else b, node * 10 + i)
+                    yield Read(b if node == 0 else a)
+                    yield Compute(5)
+                yield Fence()
+
+            if not run_captured:
+                m.spawn(0, prog(0))
+                m.spawn(1, prog(1))
+                return m.run()
+            wrapped0, rec0 = capture_program(0, prog(0))
+            wrapped1, rec1 = capture_program(1, prog(1))
+            m.spawn(0, wrapped0)
+            m.spawn(1, wrapped1)
+            m.run()
+            # replay the captured trace on a fresh machine
+            cfg2 = MachineConfig(num_procs=2, protocol=protocol)
+            result, _ = run_trace(cfg2, rec0 + rec1)
+            return result
+
+        direct = build(run_captured=False)
+        replayed = build(run_captured=True)
+        assert direct.misses == replayed.misses
+        assert direct.updates == replayed.updates
+        assert direct.total_cycles == replayed.total_cycles
+
+    def test_capture_rejects_spin(self, protocol):
+        m = make_machine(1, protocol)
+        addr = m.memmap.alloc_word(0)
+
+        def prog():
+            yield SpinUntil(addr, lambda v: v == 1)
+
+        wrapped, _ = capture_program(0, prog())
+        m.spawn(0, wrapped)
+        with pytest.raises(ValueError, match="cannot capture"):
+            m.run()
+
+    def test_capture_preserves_results(self, protocol):
+        m = make_machine(1, protocol)
+        addr = m.memmap.alloc_word(0, init=10)
+        got = []
+
+        def prog():
+            v = yield Read(addr)
+            got.append(v)
+            old = yield FetchAdd(addr, 5)
+            got.append(old)
+
+        wrapped, records = capture_program(0, prog())
+        m.spawn(0, wrapped)
+        m.run()
+        assert got == [10, 10]
+        assert [r.op for r in records] == [TraceOp.READ,
+                                           TraceOp.ATOMIC_ADD]

@@ -1,0 +1,131 @@
+"""Integration tests for the synthetic workloads and their metrics."""
+
+import pytest
+
+from repro.config import MachineConfig, Protocol
+from repro.workloads import (
+    run_barrier_workload, run_lock_workload, run_reduction_workload,
+    local_value,
+)
+from repro.workloads.reductions import VALUE_BAND
+
+
+def cfg(P=4, protocol=Protocol.WI, **kw):
+    return MachineConfig(num_procs=P, protocol=protocol, **kw)
+
+
+class TestLockWorkload:
+    def test_total_acquires_rounded_to_multiple_of_p(self, protocol):
+        res = run_lock_workload(cfg(4, protocol), "tk", total_acquires=10)
+        assert res.total_acquires == 8  # 2 iters x 4 procs
+
+    def test_latency_metric_definition(self, protocol):
+        res = run_lock_workload(cfg(2, protocol), "tk",
+                                total_acquires=20, hold_cycles=50)
+        expected = res.result.total_cycles / res.total_acquires - 50
+        assert res.avg_latency == expected
+        assert res.avg_latency > 0
+
+    @pytest.mark.parametrize("kind", ["tk", "MCS", "uc"])
+    def test_all_lock_kinds_run(self, protocol, kind):
+        res = run_lock_workload(cfg(4, protocol), kind, total_acquires=16)
+        assert res.result.total_cycles > 0
+
+    def test_delay_modes(self, protocol):
+        base = run_lock_workload(cfg(4, protocol), "tk",
+                                 total_acquires=16, delay_mode="none",
+                                 jitter_cycles=0)
+        rand = run_lock_workload(cfg(4, protocol), "tk",
+                                 total_acquires=16, delay_mode="random",
+                                 jitter_cycles=0)
+        prop = run_lock_workload(cfg(4, protocol), "tk",
+                                 total_acquires=16,
+                                 delay_mode="proportional",
+                                 jitter_cycles=0)
+        # extra out-of-CS work extends total runtime
+        assert rand.result.total_cycles > base.result.total_cycles
+        assert prop.result.total_cycles > base.result.total_cycles
+
+    def test_unknown_delay_mode(self, protocol):
+        with pytest.raises(ValueError):
+            run_lock_workload(cfg(2, protocol), "tk", total_acquires=4,
+                              delay_mode="bogus")
+
+    def test_seed_changes_jitter_schedule(self):
+        a = run_lock_workload(cfg(4), "tk", total_acquires=16, seed=1)
+        b = run_lock_workload(cfg(4), "tk", total_acquires=16, seed=2)
+        # different seeds -> different interleavings (almost surely)
+        assert a.result.total_cycles != b.result.total_cycles
+
+    def test_single_processor_no_contention(self, protocol):
+        res = run_lock_workload(cfg(1, protocol), "tk", total_acquires=8)
+        # uncontended acquire+release should be far below contended
+        assert res.avg_latency < 500
+
+
+class TestBarrierWorkload:
+    @pytest.mark.parametrize("kind", ["cb", "db", "tb"])
+    def test_all_barrier_kinds_run(self, protocol, kind):
+        res = run_barrier_workload(cfg(4, protocol), kind, episodes=5)
+        assert res.episodes == 5
+        assert res.avg_latency == res.result.total_cycles / 5
+
+    def test_latency_grows_with_processors(self, protocol):
+        small = run_barrier_workload(cfg(2, protocol), "cb", episodes=10)
+        big = run_barrier_workload(cfg(16, protocol), "cb", episodes=10)
+        assert big.avg_latency > small.avg_latency
+
+    def test_single_processor_barrier(self, protocol):
+        # P=1: dissemination has zero rounds (a no-op); the others
+        # still touch their flags
+        res = run_barrier_workload(cfg(1, protocol), "db", episodes=5)
+        assert res.result.total_cycles >= 0
+        res = run_barrier_workload(cfg(1, protocol), "cb", episodes=5)
+        assert res.result.total_cycles > 0
+
+
+class TestReductionWorkload:
+    @pytest.mark.parametrize("kind", ["sr", "pr"])
+    def test_reductions_run_and_verify_internally(self, protocol, kind):
+        # the workload itself asserts result >= own value each episode
+        res = run_reduction_workload(cfg(4, protocol), kind, iterations=6)
+        assert res.iterations == 6
+        assert res.avg_latency > 0
+
+    def test_imbalance_variant(self, protocol):
+        res = run_reduction_workload(cfg(4, protocol), "pr", iterations=6,
+                                     imbalance=True)
+        assert res.result.total_cycles > 0
+
+    def test_unknown_kind(self, protocol):
+        with pytest.raises(ValueError):
+            run_reduction_workload(cfg(2, protocol), "xx", iterations=2)
+
+    def test_contiguous_layout_variant(self, protocol):
+        res = run_reduction_workload(cfg(4, protocol), "sr", iterations=4,
+                                     padded=False)
+        assert res.result.total_cycles > 0
+
+
+class TestLocalValue:
+    def test_band_structure(self):
+        # identical values within a band, advancing across bands
+        for node in range(8):
+            assert local_value(node, 0) == local_value(node, VALUE_BAND - 1)
+            assert local_value(node, VALUE_BAND) > local_value(node, 0)
+
+    def test_band_max_monotonic(self):
+        P = 8
+        prev = -1
+        for band in range(0, 30, VALUE_BAND):
+            cur = max(local_value(n, band) for n in range(P))
+            assert cur > prev
+            prev = cur
+
+    def test_winner_varies_across_bands(self):
+        P = 16
+        winners = set()
+        for band in range(0, 60, VALUE_BAND):
+            vals = [local_value(n, band) for n in range(P)]
+            winners.add(vals.index(max(vals)))
+        assert len(winners) > 2

@@ -1,0 +1,165 @@
+"""Property-based tests for synchronization algorithms and the
+classifiers' accounting invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.config import MachineConfig, Protocol
+from repro.isa.ops import Compute, Read, Write
+from repro.runtime import Machine
+from repro.sync import make_barrier, make_lock
+
+PROTOCOLS = [Protocol.WI, Protocol.PU, Protocol.CU]
+
+
+class TestLockProperties:
+    @settings(deadline=None, max_examples=12)
+    @given(st.sampled_from(["tk", "MCS", "uc"]),
+           st.sampled_from(PROTOCOLS),
+           st.integers(2, 6),
+           st.lists(st.integers(0, 120), min_size=2, max_size=6))
+    def test_mutual_exclusion_arbitrary_arrival_patterns(
+            self, kind, protocol, nprocs, delays):
+        cfg = MachineConfig(num_procs=nprocs, protocol=protocol)
+        m = Machine(cfg, max_events=3_000_000)
+        lock = make_lock(kind, m)
+        state = {"in": 0, "peak": 0, "count": 0}
+
+        def prog(node, delay):
+            yield Compute(delay + 1)
+            for i in range(3):
+                tok = yield from lock.acquire(node)
+                state["in"] += 1
+                state["peak"] = max(state["peak"], state["in"])
+                yield Compute((node * 13 + i * 7) % 40 + 1)
+                state["in"] -= 1
+                state["count"] += 1
+                yield from lock.release(node, tok)
+
+        for node in range(nprocs):
+            m.spawn(node, prog(node, delays[node % len(delays)]))
+        m.run()
+        assert state["peak"] == 1
+        assert state["count"] == 3 * nprocs
+
+    @settings(deadline=None, max_examples=10)
+    @given(st.sampled_from(PROTOCOLS), st.integers(2, 6))
+    def test_lock_protected_increments_never_lost(self, protocol, nprocs):
+        cfg = MachineConfig(num_procs=nprocs, protocol=protocol)
+        m = Machine(cfg, max_events=3_000_000)
+        lock = make_lock("MCS", m)
+        shared = m.memmap.alloc_word(0)
+        finals = []
+
+        def prog(node):
+            for _ in range(4):
+                tok = yield from lock.acquire(node)
+                v = yield Read(shared)
+                yield Write(shared, v + 1)
+                finals.append(v + 1)
+                yield from lock.release(node, tok)
+
+        m.spawn_all(lambda n: prog(n))
+        m.run()
+        assert max(finals) == 4 * nprocs
+
+
+class TestBarrierProperties:
+    @settings(deadline=None, max_examples=12)
+    @given(st.sampled_from(["cb", "db", "tb"]),
+           st.sampled_from(PROTOCOLS),
+           st.integers(2, 9),
+           st.integers(1, 5),
+           st.lists(st.integers(0, 300), min_size=2, max_size=9))
+    def test_barrier_separates_episodes(self, kind, protocol, nprocs,
+                                        episodes, delays):
+        cfg = MachineConfig(num_procs=nprocs, protocol=protocol)
+        m = Machine(cfg, max_events=3_000_000)
+        bar = make_barrier(kind, m)
+        phase = [0] * nprocs
+        violations = []
+
+        def prog(node):
+            for ep in range(episodes):
+                phase[node] = ep
+                yield Compute(delays[(node + ep) % len(delays)] + 1)
+                yield from bar.wait(node)
+                if min(phase) < ep:
+                    violations.append((node, ep))
+
+        m.spawn_all(lambda n: prog(n))
+        m.run()
+        assert not violations
+
+
+class TestClassifierConservation:
+    @settings(deadline=None, max_examples=15)
+    @given(st.sampled_from(PROTOCOLS),
+           st.lists(st.tuples(st.integers(0, 2), st.integers(0, 3),
+                              st.booleans()),
+                    min_size=1, max_size=30))
+    def test_totals_are_consistent(self, protocol, accesses):
+        """Category counts sum to totals; every network update message
+        eventually lands in exactly one category."""
+        cfg = MachineConfig(num_procs=3, protocol=protocol)
+        m = Machine(cfg, max_events=2_000_000)
+        words = [m.memmap.alloc_word(i % 3) for i in range(4)]
+        per_node = {0: [], 1: [], 2: []}
+        for node, widx, is_write in accesses:
+            per_node[node].append((widx, is_write))
+
+        def prog(node):
+            for widx, is_write in per_node[node]:
+                if is_write:
+                    yield Write(words[widx], node)
+                else:
+                    yield Read(words[widx])
+                yield Compute(3)
+            from repro.isa.ops import Fence
+            yield Fence()
+
+        m.spawn_all(lambda n: prog(n))
+        r = m.run()
+        misses = r.misses
+        assert misses["total"] == sum(
+            misses[k] for k in
+            ("cold", "true", "false", "eviction", "drop"))
+        updates = r.updates
+        assert updates["total"] == sum(
+            updates[k] for k in
+            ("useful", "false", "proliferation", "replacement",
+             "termination", "drop"))
+        if protocol is Protocol.WI:
+            assert updates["total"] == 0
+        else:
+            # every UPD_PROP message was classified (stale deliveries
+            # count as proliferation)
+            from repro.network.messages import MsgType
+            sent = m.net.stats.by_type.get(MsgType.UPD_PROP, 0)
+            assert updates["total"] == sent
+
+    @settings(deadline=None, max_examples=15)
+    @given(st.lists(st.tuples(st.integers(0, 2), st.integers(0, 3),
+                              st.booleans()),
+                    min_size=1, max_size=30))
+    def test_wi_and_pu_reads_see_identical_final_values(self, accesses):
+        """Functional equivalence: the same single-threaded program
+        yields the same read values under every protocol."""
+        outs = []
+        for protocol in PROTOCOLS:
+            cfg = MachineConfig(num_procs=1, protocol=protocol)
+            m = Machine(cfg, max_events=1_000_000)
+            words = [m.memmap.alloc_word(0) for _ in range(4)]
+            got = []
+
+            def prog():
+                for i, (node, widx, is_write) in enumerate(accesses):
+                    if is_write:
+                        yield Write(words[widx], i)
+                    else:
+                        v = yield Read(words[widx])
+                        got.append(v)
+
+            m.spawn(0, prog())
+            m.run()
+            outs.append(got)
+        assert outs[0] == outs[1] == outs[2]

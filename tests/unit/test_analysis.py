@@ -1,0 +1,151 @@
+"""Unit/integration tests for the post-run analysis module."""
+
+from repro.config import MachineConfig, Protocol
+from repro.isa.ops import Compute, Fence, Read, Write
+from repro.metrics import (
+    compare_runs, hottest_memories, markdown_report, node_utilization,
+    render_traffic_matrix, summarize, traffic_matrix,
+)
+from repro.runtime import Machine
+
+
+def run_small(protocol=Protocol.PU):
+    cfg = MachineConfig(num_procs=4, protocol=protocol)
+    m = Machine(cfg, max_events=500_000)
+    a = m.memmap.alloc_word(1, "a")
+    b = m.memmap.alloc_word(2, "b")
+
+    def prog(node):
+        for i in range(4):
+            yield Write(a, node * 10 + i)
+            yield Read(b)
+            yield Compute(5)
+        yield Fence()
+
+    m.spawn_all(lambda n: prog(n))
+    return m, m.run()
+
+
+class TestNodeUtilization:
+    def test_every_node_reported(self):
+        m, r = run_small()
+        util = node_utilization(m, r)
+        assert [u.node for u in util] == [0, 1, 2, 3]
+
+    def test_home_nodes_busiest(self):
+        m, r = run_small()
+        util = {u.node: u for u in node_utilization(m, r)}
+        # nodes 1 and 2 are the homes of a and b: they serve requests
+        assert util[1].memory_accesses > util[3].memory_accesses
+        assert util[2].memory_accesses > util[3].memory_accesses
+
+    def test_fractions_bounded(self):
+        m, r = run_small()
+        for u in node_utilization(m, r):
+            assert 0.0 <= u.memory_busy <= 1.0
+
+    def test_message_counts_consistent(self):
+        m, r = run_small()
+        util = node_utilization(m, r)
+        assert sum(u.messages_sent for u in util) == r.network.messages
+        assert sum(u.messages_received for u in util) == \
+            r.network.messages
+
+    def test_hottest_memories_sorted(self):
+        m, r = run_small()
+        hot = hottest_memories(m, r, top=4)
+        counts = [n for _, n in hot]
+        assert counts == sorted(counts, reverse=True)
+
+
+class TestTrafficMatrix:
+    def test_matrix_totals_match(self):
+        m, r = run_small()
+        mat = traffic_matrix(r, 4)
+        assert sum(sum(row) for row in mat) == r.network.messages
+
+    def test_render_contains_all_rows(self):
+        m, r = run_small()
+        text = render_traffic_matrix(r, 4)
+        lines = text.splitlines()
+        assert len(lines) == 2 + 4  # title + header + 4 rows
+
+
+class TestSummaries:
+    def test_summarize_fields(self):
+        m, r = run_small()
+        s = summarize(r)
+        assert s.total_cycles == r.total_cycles
+        assert 0.0 <= s.useful_miss_fraction <= 1.0
+        assert 0.0 <= s.useful_update_fraction <= 1.0
+        assert s.bytes_per_ref > 0
+
+    def test_wi_summary_has_no_updates(self):
+        m, r = run_small(Protocol.WI)
+        s = summarize(r)
+        assert s.updates["total"] == 0
+        assert s.useful_update_fraction == 1.0  # vacuous
+
+    def test_compare_runs_table(self):
+        _, r1 = run_small(Protocol.WI)
+        _, r2 = run_small(Protocol.PU)
+        text = compare_runs({"wi": r1, "pu": r2})
+        assert "wi" in text and "pu" in text
+        assert "cycles" in text
+
+    def test_markdown_report_names_fastest(self):
+        _, r1 = run_small(Protocol.WI)
+        _, r2 = run_small(Protocol.PU)
+        md = markdown_report({"wi": r1, "pu": r2})
+        fastest = "wi" if r1.total_cycles < r2.total_cycles else "pu"
+        assert f"**{fastest}**" in md
+        assert md.startswith("# ")
+
+
+class TestPhaseTracker:
+    def _run(self):
+        from repro.metrics.phases import PhaseTracker
+        from repro.sync import IdealBarrier
+        cfg = MachineConfig(num_procs=2, protocol=Protocol.PU)
+        m = Machine(cfg, max_events=500_000)
+        tracker = PhaseTracker(m)
+        bar = IdealBarrier(m)
+        a = m.memmap.alloc_word(1, "a")
+
+        def prog(node):
+            # phase 1: node 0 writes a lot; phase 2: mostly idle
+            if node == 0:
+                for i in range(6):
+                    yield Write(a, i)
+                yield Fence()
+            else:
+                yield Read(a)
+            yield from bar.wait(node)
+            if node == 0:
+                yield from tracker.mark("busy-phase")
+            yield from bar.wait(node)
+            yield Compute(100)
+            yield from bar.wait(node)
+            if node == 0:
+                yield from tracker.mark("idle-phase")
+
+        m.spawn_all(lambda n: prog(n))
+        m.run()
+        return tracker
+
+    def test_phase_labels_and_order(self):
+        tracker = self._run()
+        phases = tracker.phases()
+        assert [p.label for p in phases] == ["busy-phase", "idle-phase"]
+
+    def test_traffic_attributed_to_busy_phase(self):
+        tracker = self._run()
+        busy, idle = tracker.phases()
+        assert busy.messages > idle.messages
+        assert busy.misses["total"] >= idle.misses["total"]
+        assert busy.cycles > 0 and idle.cycles > 0
+
+    def test_render_table(self):
+        tracker = self._run()
+        text = tracker.render()
+        assert "busy-phase" in text and "idle-phase" in text

@@ -1,0 +1,215 @@
+"""Unit tests for the miss and update classifiers.
+
+Each paper category is exercised by a minimal hand-built scenario.
+"""
+
+from repro.classify import (
+    MissClass, MissClassifier, UpdateClass, UpdateClassifier,
+)
+from repro.memsys.cache import EvictReason
+
+
+class TestMissClassifier:
+    def test_first_access_is_cold(self):
+        mc = MissClassifier()
+        mc.record_miss(0, 1, 64)
+        assert mc.counts[MissClass.COLD] == 1
+
+    def test_second_node_also_cold(self):
+        mc = MissClassifier()
+        mc.record_miss(0, 1, 64)
+        mc.record_miss(1, 1, 64)
+        assert mc.counts[MissClass.COLD] == 2
+
+    def test_true_sharing_immediate(self):
+        mc = MissClassifier()
+        mc.record_miss(0, 1, 64)                     # cold fill
+        mc.record_leave(0, 1, EvictReason.INVALIDATION)
+        mc.record_write(1, 64, writer=1)             # remote write, same word
+        mc.record_miss(0, 1, 64)                     # re-reference that word
+        assert mc.counts[MissClass.TRUE_SHARING] == 1
+
+    def test_false_sharing_resolved_at_next_leave(self):
+        mc = MissClassifier()
+        mc.record_miss(0, 1, 64)
+        mc.record_leave(0, 1, EvictReason.INVALIDATION)
+        mc.record_write(1, 68, writer=1)             # remote write, OTHER word
+        mc.record_miss(0, 1, 64)                     # miss on word 64
+        # still pending; leaves again without touching word 68
+        mc.record_leave(0, 1, EvictReason.INVALIDATION)
+        assert mc.counts[MissClass.FALSE_SHARING] == 1
+
+    def test_false_sharing_resolved_at_finalize(self):
+        mc = MissClassifier()
+        mc.record_miss(0, 1, 64)
+        mc.record_leave(0, 1, EvictReason.INVALIDATION)
+        mc.record_write(1, 68, writer=1)
+        mc.record_miss(0, 1, 64)
+        mc.finalize()
+        assert mc.counts[MissClass.FALSE_SHARING] == 1
+
+    def test_pending_upgraded_to_true_by_later_reference(self):
+        mc = MissClassifier()
+        mc.record_miss(0, 1, 64)
+        mc.record_leave(0, 1, EvictReason.INVALIDATION)
+        mc.record_write(1, 68, writer=1)
+        mc.record_miss(0, 1, 64)                     # pending (word 64)
+        mc.record_reference(0, 1, 68)                # touches remote word
+        assert mc.counts[MissClass.TRUE_SHARING] == 1
+        assert mc.counts[MissClass.FALSE_SHARING] == 0
+
+    def test_own_write_does_not_make_true_sharing(self):
+        mc = MissClassifier()
+        mc.record_miss(0, 1, 64)
+        mc.record_leave(0, 1, EvictReason.INVALIDATION)
+        mc.record_write(1, 64, writer=0)             # our own write
+        mc.record_miss(0, 1, 64)
+        mc.finalize()
+        assert mc.counts[MissClass.TRUE_SHARING] == 0
+        assert mc.counts[MissClass.FALSE_SHARING] == 1
+
+    def test_eviction_miss(self):
+        mc = MissClassifier()
+        mc.record_miss(0, 1, 64)
+        mc.record_leave(0, 1, EvictReason.REPLACEMENT)
+        mc.record_miss(0, 1, 64)
+        assert mc.counts[MissClass.EVICTION] == 1
+
+    def test_flush_counts_as_eviction(self):
+        mc = MissClassifier()
+        mc.record_miss(0, 1, 64)
+        mc.record_leave(0, 1, EvictReason.FLUSH)
+        mc.record_miss(0, 1, 64)
+        assert mc.counts[MissClass.EVICTION] == 1
+
+    def test_drop_miss(self):
+        mc = MissClassifier()
+        mc.record_miss(0, 1, 64)
+        mc.record_leave(0, 1, EvictReason.DROP)
+        mc.record_miss(0, 1, 64)
+        assert mc.counts[MissClass.DROP] == 1
+
+    def test_exclusive_requests_separate(self):
+        mc = MissClassifier()
+        mc.record_upgrade(0, 1)
+        assert mc.exclusive_requests == 1
+        assert mc.total_misses == 0
+
+    def test_usefulness_partition(self):
+        assert MissClass.COLD.useful
+        assert MissClass.TRUE_SHARING.useful
+        assert not MissClass.FALSE_SHARING.useful
+        assert not MissClass.EVICTION.useful
+        assert not MissClass.DROP.useful
+
+    def test_miss_rate(self):
+        mc = MissClassifier()
+        for _ in range(9):
+            mc.record_reference(0, 1, 64)
+        mc.record_reference(0, 1, 64)
+        mc.record_miss(0, 1, 64)
+        assert mc.miss_rate() == 0.1
+        assert mc.shared_refs == 10
+
+    def test_uncounted_reference(self):
+        mc = MissClassifier()
+        mc.record_reference(0, 1, 64, count=False)
+        assert mc.shared_refs == 0
+
+    def test_as_dict_totals(self):
+        mc = MissClassifier()
+        mc.record_miss(0, 1, 64)
+        mc.record_upgrade(0, 1)
+        d = mc.as_dict()
+        assert d["cold"] == 1
+        assert d["exclusive_requests"] == 1
+        assert d["total"] == 1
+
+
+class TestUpdateClassifier:
+    def test_useful_update(self):
+        uc = UpdateClassifier()
+        uc.record_update(0, 1, 64)
+        uc.record_reference(0, 1, 64)
+        uc.record_update(0, 1, 64)      # overwrite closes the first
+        uc.finalize()
+        assert uc.counts[UpdateClass.USEFUL] == 1
+
+    def test_proliferation(self):
+        uc = UpdateClassifier()
+        uc.record_update(0, 1, 64)
+        uc.record_update(0, 1, 64)      # overwritten, never referenced
+        uc.finalize()
+        assert uc.counts[UpdateClass.PROLIFERATION] == 1
+        assert uc.counts[UpdateClass.TERMINATION] == 1  # the second one
+
+    def test_false_sharing_needs_concurrent_other_word_activity(self):
+        uc = UpdateClassifier()
+        uc.record_update(0, 1, 64)
+        uc.record_reference(0, 1, 68)   # other word of same block
+        uc.record_update(0, 1, 64)
+        uc.finalize()
+        assert uc.counts[UpdateClass.FALSE_SHARING] == 1
+
+    def test_termination(self):
+        uc = UpdateClassifier()
+        uc.record_update(0, 1, 64)
+        uc.finalize()
+        assert uc.counts[UpdateClass.TERMINATION] == 1
+
+    def test_referenced_then_program_end_is_useful(self):
+        uc = UpdateClassifier()
+        uc.record_update(0, 1, 64)
+        uc.record_reference(0, 1, 64)
+        uc.finalize()
+        assert uc.counts[UpdateClass.USEFUL] == 1
+        assert uc.counts[UpdateClass.TERMINATION] == 0
+
+    def test_replacement(self):
+        uc = UpdateClassifier()
+        uc.record_update(0, 1, 64)
+        uc.record_block_gone(0, 1)      # replaced, unreferenced
+        uc.finalize()
+        assert uc.counts[UpdateClass.REPLACEMENT] == 1
+
+    def test_referenced_before_replacement_is_useful(self):
+        uc = UpdateClassifier()
+        uc.record_update(0, 1, 64)
+        uc.record_reference(0, 1, 64)
+        uc.record_block_gone(0, 1)
+        uc.finalize()
+        assert uc.counts[UpdateClass.USEFUL] == 1
+        assert uc.counts[UpdateClass.REPLACEMENT] == 0
+
+    def test_drop_update_closes_block(self):
+        uc = UpdateClassifier()
+        uc.record_update(0, 1, 64)      # earlier, unreferenced
+        uc.record_drop_update(0, 1, 68)
+        uc.finalize()
+        assert uc.counts[UpdateClass.DROP] == 1
+        assert uc.counts[UpdateClass.REPLACEMENT] == 1
+
+    def test_stale_delivery_is_proliferation(self):
+        uc = UpdateClassifier()
+        uc.record_stale_update(0, 1)
+        assert uc.counts[UpdateClass.PROLIFERATION] == 1
+        assert uc.stale_deliveries == 1
+
+    def test_per_node_independence(self):
+        uc = UpdateClassifier()
+        uc.record_update(0, 1, 64)
+        uc.record_update(1, 1, 64)
+        uc.record_reference(0, 1, 64)
+        uc.finalize()
+        assert uc.counts[UpdateClass.USEFUL] == 1
+        assert uc.counts[UpdateClass.TERMINATION] == 1
+
+    def test_usefulness_totals(self):
+        uc = UpdateClassifier()
+        uc.record_update(0, 1, 64)
+        uc.record_reference(0, 1, 64)
+        uc.record_update(0, 1, 64)
+        uc.finalize()
+        assert uc.useful_updates() == 1
+        assert uc.useless_updates() == 1
+        assert uc.total_updates == 2

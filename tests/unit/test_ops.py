@@ -1,0 +1,71 @@
+"""Unit tests for the ISA operation vocabulary."""
+
+import pytest
+
+from repro.isa.ops import (
+    CompareSwap, Compute, FetchAdd, FetchStore, Flush, Read, SpinUntil,
+    Write, apply_atomic, fetch_and_decrement,
+)
+
+
+class TestApplyAtomic:
+    def test_fetch_and_add(self):
+        assert apply_atomic("faa", 5, 3) == (8, 5)
+
+    def test_fetch_and_add_negative(self):
+        assert apply_atomic("faa", 5, -1) == (4, 5)
+
+    def test_fetch_and_add_uninitialized(self):
+        assert apply_atomic("faa", None, 1) == (1, 0)
+
+    def test_fetch_and_store(self):
+        assert apply_atomic("fas", 7, 99) == (99, 7)
+
+    def test_cas_success(self):
+        new, ok = apply_atomic("cas", 7, (7, 11))
+        assert (new, ok) == (11, True)
+
+    def test_cas_failure_keeps_value(self):
+        new, ok = apply_atomic("cas", 8, (7, 11))
+        assert (new, ok) == (8, False)
+
+    def test_cas_on_uninitialized_zero(self):
+        new, ok = apply_atomic("cas", None, (0, 5))
+        assert (new, ok) == (5, True)
+
+    def test_unknown_op(self):
+        with pytest.raises(ValueError):
+            apply_atomic("xadd", 0, 0)
+
+
+class TestOpConstruction:
+    def test_fetch_and_decrement_sugar(self):
+        op = fetch_and_decrement(128)
+        assert isinstance(op, FetchAdd)
+        assert op.delta == -1
+        assert op.addr == 128
+
+    def test_atomic_operands(self):
+        assert FetchAdd(0, 3).operand == 3
+        assert FetchStore(0, 9).operand == 9
+        assert CompareSwap(0, 1, 2).operand == (1, 2)
+
+    def test_atomic_opnames(self):
+        assert FetchAdd(0).opname == "faa"
+        assert FetchStore(0, 0).opname == "fas"
+        assert CompareSwap(0, 0, 0).opname == "cas"
+
+    def test_compute_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Compute(-1)
+        assert Compute(0).cycles == 0
+
+    def test_spin_until_holds_predicate(self):
+        op = SpinUntil(64, lambda v: v == 3)
+        assert op.predicate(3)
+        assert not op.predicate(4)
+
+    def test_ops_are_lightweight(self):
+        # __slots__: no per-instance dict
+        for op in (Read(0), Write(0, 1), Compute(1), Flush(0)):
+            assert not hasattr(op, "__dict__")

@@ -1,0 +1,202 @@
+"""Unit tests for the processor front-end (op dispatch, spin-wait
+semantics, accounting)."""
+
+import pytest
+
+from repro.config import MachineConfig, Protocol
+from repro.isa.ops import (
+    CallHook, Compute, Fence, FetchAdd, Read, SpinUntil, Write,
+)
+from repro.runtime import Machine
+
+from tests.conftest import make_machine, run_programs
+
+
+class TestDispatch:
+    def test_instruction_count(self, protocol):
+        m = make_machine(1, protocol)
+        addr = m.memmap.alloc_word(0)
+
+        def prog():
+            yield Compute(5)
+            yield Write(addr, 1)
+            yield Read(addr)
+            yield Fence()
+
+        proc = m.spawn(0, prog())
+        m.run()
+        assert proc.instructions == 4
+        assert proc.done
+        assert proc.done_time == m.sim.now
+
+    def test_non_op_yield_raises(self, protocol):
+        m = make_machine(1, protocol)
+
+        def prog():
+            yield "not an op"
+
+        m.spawn(0, prog())
+        with pytest.raises(TypeError, match="non-Op"):
+            m.run()
+
+    def test_compute_advances_exact_cycles(self, protocol):
+        m = make_machine(1, protocol)
+        times = []
+
+        def prog():
+            t0 = m.sim.now
+            yield Compute(17)
+            times.append(m.sim.now - t0)
+
+        m.spawn(0, prog())
+        m.run()
+        assert times == [17]
+
+    def test_callhook_receives_processor(self, protocol):
+        m = make_machine(1, protocol)
+        seen = []
+
+        def prog():
+            got = yield CallHook(
+                lambda proc, resume: (seen.append(proc.node),
+                                      resume("hello")))
+            assert got == "hello"
+
+        m.spawn(0, prog())
+        m.run()
+        assert seen == [0]
+
+    def test_double_start_rejected(self, protocol):
+        m = make_machine(1, protocol)
+
+        def prog():
+            yield Compute(1)
+
+        proc = m.spawn(0, prog())
+        m.run()
+        with pytest.raises(RuntimeError):
+            proc.start()
+
+
+class TestSpinSemantics:
+    def test_spin_satisfied_immediately_costs_little(self, protocol):
+        m = make_machine(2, protocol)
+        addr = m.memmap.alloc_word(0, init=5)
+        times = []
+
+        def prog():
+            yield Read(addr)               # warm the cache
+            t0 = m.sim.now
+            v = yield SpinUntil(addr, lambda v: v == 5)
+            times.append(m.sim.now - t0)
+            assert v == 5
+
+        def other():
+            yield Compute(1)
+
+        run_programs(m, prog(), other())
+        assert times[0] <= 3
+
+    def test_spin_wakeup_counter(self, protocol):
+        m = make_machine(2, protocol)
+        addr = m.memmap.alloc_word(0)
+
+        def spinner():
+            yield SpinUntil(addr, lambda v: v == 3)
+
+        def writer():
+            for i in range(1, 4):
+                yield Compute(200)
+                yield Write(addr, i)
+                yield Fence()
+
+        proc = m.spawn(0, spinner())
+        m.spawn(1, writer())
+        m.run()
+        # one wakeup per observed change (some may coalesce)
+        assert 1 <= proc.spin_wakeups <= 3
+
+    def test_spin_value_is_the_satisfying_one(self, protocol):
+        m = make_machine(2, protocol)
+        addr = m.memmap.alloc_word(0)
+        got = []
+
+        def spinner():
+            v = yield SpinUntil(addr, lambda v: v >= 2)
+            got.append(v)
+
+        def writer():
+            yield Compute(100)
+            yield Write(addr, 1)
+            yield Compute(100)
+            yield Write(addr, 2)
+            yield Compute(100)
+            yield Write(addr, 9)
+            yield Fence()
+
+        m.spawn(0, spinner())
+        m.spawn(1, writer())
+        m.run()
+        assert got[0] in (2, 9)
+
+    def test_spin_on_own_pending_write(self, protocol):
+        """A processor spinning on a word it just wrote must see its
+        own buffered value (write-buffer forwarding)."""
+        m = make_machine(1, protocol)
+        addr = m.memmap.alloc_word(0)
+
+        def prog():
+            yield Write(addr, 1)
+            v = yield SpinUntil(addr, lambda v: v == 1)
+            assert v == 1
+
+        m.spawn(0, prog())
+        m.run()
+
+    def test_two_spinners_one_writer(self, protocol):
+        m = make_machine(3, protocol)
+        addr = m.memmap.alloc_word(0)
+        woke = []
+
+        def spinner(tag):
+            yield SpinUntil(addr, lambda v: v == 1)
+            woke.append(tag)
+
+        def writer():
+            yield Compute(500)
+            yield Write(addr, 1)
+            yield Fence()
+
+        m.spawn(0, spinner("a"))
+        m.spawn(1, spinner("b"))
+        m.spawn(2, writer())
+        m.run()
+        assert sorted(woke) == ["a", "b"]
+
+
+class TestAccounting:
+    def test_done_times_monotone_with_work(self, protocol):
+        m = make_machine(2, protocol)
+
+        def short():
+            yield Compute(10)
+
+        def long():
+            yield Compute(500)
+
+        p1 = m.spawn(0, short())
+        p2 = m.spawn(1, long())
+        m.run()
+        assert p1.done_time < p2.done_time
+
+    def test_failure_recorded(self, protocol):
+        m = make_machine(1, protocol)
+
+        def prog():
+            yield Compute(1)
+            raise RuntimeError("boom")
+
+        proc = m.spawn(0, prog())
+        with pytest.raises(RuntimeError, match="boom"):
+            m.run()
+        assert proc.failure is not None

@@ -1,0 +1,71 @@
+"""Static sanity checks on the protocol controllers' handler tables."""
+
+import pytest
+
+from repro.config import MachineConfig, Protocol
+from repro.network.messages import MsgType
+from repro.protocols import (
+    CUNodeCtrl, HybridNodeCtrl, PUNodeCtrl, WINodeCtrl, make_controller,
+)
+from repro.runtime import Machine
+
+WI_SENDS = {
+    MsgType.READ_REQ, MsgType.READ_REPLY, MsgType.FETCH_FWD,
+    MsgType.OWNER_DATA, MsgType.SHARING_WB, MsgType.RDEX_REQ,
+    MsgType.RDEX_REPLY, MsgType.UPGRADE_REQ, MsgType.UPGRADE_REPLY,
+    MsgType.INV, MsgType.INV_ACK, MsgType.FETCH_INV_FWD,
+    MsgType.OWNER_DATA_EX, MsgType.DIRTY_TRANSFER, MsgType.WRITEBACK,
+    MsgType.FWD_NACK,
+}
+PU_SENDS = {
+    MsgType.READ_REQ, MsgType.READ_REPLY, MsgType.UPDATE,
+    MsgType.UPD_PROP, MsgType.UPD_ACK, MsgType.WRITER_ACK,
+    MsgType.RECALL, MsgType.RECALL_REPLY, MsgType.ATOMIC_REQ,
+    MsgType.ATOMIC_REPLY, MsgType.DROP_NOTICE, MsgType.WRITEBACK,
+    MsgType.FWD_NACK,
+}
+
+
+class TestHandlerTables:
+    def test_wi_handles_everything_it_can_receive(self):
+        assert WI_SENDS <= set(WINodeCtrl.HANDLERS)
+
+    def test_pu_handles_everything_it_can_receive(self):
+        assert PU_SENDS <= set(PUNodeCtrl.HANDLERS)
+
+    def test_cu_inherits_pu_table(self):
+        assert CUNodeCtrl.HANDLERS == PUNodeCtrl.HANDLERS
+
+    def test_hybrid_handles_union(self):
+        assert (WI_SENDS | PU_SENDS) <= set(HybridNodeCtrl.HANDLERS)
+
+    def test_handler_methods_exist(self):
+        for cls in (WINodeCtrl, PUNodeCtrl, CUNodeCtrl, HybridNodeCtrl):
+            for mtype, name in cls.HANDLERS.items():
+                assert callable(getattr(cls, name)), (cls, mtype, name)
+
+    def test_hybrid_collisions_are_dispatchers(self):
+        collisions = set(WINodeCtrl.HANDLERS) & set(PUNodeCtrl.HANDLERS)
+        for mtype in collisions:
+            name = HybridNodeCtrl.HANDLERS[mtype]
+            # FWD_NACK shares the base implementation; the other
+            # colliding types must route through a hybrid dispatcher
+            if mtype is MsgType.FWD_NACK:
+                assert name == "on_fwd_nack"
+            else:
+                assert name.endswith("_hybrid"), (mtype, name)
+
+    @pytest.mark.parametrize("protocol", list(Protocol))
+    def test_factory_builds_each_protocol(self, protocol):
+        m = Machine(MachineConfig(num_procs=2, protocol=protocol))
+        ctrl = m.controllers[0]
+        assert ctrl.node == 0
+        assert ctrl.READABLE_STATES
+
+    def test_readable_states_disjoint_roles(self):
+        from repro.memsys.cache import CacheState
+        assert CacheState.MODIFIED in WINodeCtrl.READABLE_STATES
+        assert CacheState.MODIFIED not in PUNodeCtrl.READABLE_STATES
+        assert set(HybridNodeCtrl.READABLE_STATES) == (
+            set(WINodeCtrl.READABLE_STATES)
+            | set(PUNodeCtrl.READABLE_STATES))

@@ -1,0 +1,165 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.engine import DeadlockError, Simulator, SimulationError
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(5, log.append, "late")
+        sim.schedule(1, log.append, "early")
+        sim.schedule(3, log.append, "middle")
+        sim.run()
+        assert log == ["early", "middle", "late"]
+
+    def test_ties_fire_in_schedule_order(self):
+        sim = Simulator()
+        log = []
+        for i in range(10):
+            sim.schedule(7, log.append, i)
+        sim.run()
+        assert log == list(range(10))
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(42, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [42]
+        assert sim.now == 42
+
+    def test_zero_delay_fires_at_current_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [0]
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        log = []
+
+        def outer():
+            log.append(("outer", sim.now))
+            sim.schedule(3, inner)
+
+        def inner():
+            log.append(("inner", sim.now))
+
+        sim.schedule(2, outer)
+        sim.run()
+        assert log == [("outer", 2), ("inner", 5)]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1, lambda: None)
+
+    def test_at_absolute_time(self):
+        sim = Simulator()
+        seen = []
+        sim.at(9, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [9]
+
+    def test_at_in_the_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(10, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.at(5, lambda: None)
+
+    def test_args_passed_through(self):
+        sim = Simulator()
+        got = []
+        sim.schedule(1, lambda a, b: got.append((a, b)), 1, "x")
+        sim.run()
+        assert got == [(1, "x")]
+
+
+class TestRunControl:
+    def test_run_until_stops_at_horizon(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(5, log.append, "a")
+        sim.schedule(15, log.append, "b")
+        sim.run(until=10)
+        assert log == ["a"]
+        assert sim.now == 10
+        sim.run()
+        assert log == ["a", "b"]
+
+    def test_stop_halts_after_current_event(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1, lambda: (log.append("first"), sim.stop()))
+        sim.schedule(2, log.append, "second")
+        sim.run()
+        assert log == ["first"]
+        assert sim.pending_events == 1
+
+    def test_step_single_event(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1, log.append, "a")
+        sim.schedule(2, log.append, "b")
+        assert sim.step() is True
+        assert log == ["a"]
+        assert sim.step() is True
+        assert sim.step() is False
+
+    def test_max_events_guard(self):
+        sim = Simulator(max_events=10)
+
+        def loop():
+            sim.schedule(1, loop)
+
+        sim.schedule(1, loop)
+        with pytest.raises(SimulationError, match="max_events"):
+            sim.run()
+
+    def test_run_not_reentrant(self):
+        sim = Simulator()
+        failures = []
+
+        def reenter():
+            try:
+                sim.run()
+            except SimulationError:
+                failures.append(True)
+
+        sim.schedule(1, reenter)
+        sim.run()
+        assert failures == [True]
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule(i, lambda: None)
+        sim.run()
+        assert sim.events_processed == 5
+
+    def test_peek_time(self):
+        sim = Simulator()
+        assert sim.peek_time() is None
+        sim.schedule(8, lambda: None)
+        assert sim.peek_time() == 8
+
+
+class TestDeterminism:
+    def test_identical_schedules_identical_traces(self):
+        def build():
+            sim = Simulator()
+            log = []
+            for i in range(50):
+                sim.schedule((i * 17) % 23, log.append, i)
+            sim.run()
+            return log
+
+        assert build() == build()
+
+    def test_deadlock_error_is_simulation_error(self):
+        assert issubclass(DeadlockError, SimulationError)

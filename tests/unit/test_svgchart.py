@@ -1,0 +1,91 @@
+"""Tests for the SVG figure renderer."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.metrics import Series, StackedBars
+from repro.metrics.svgchart import series_to_svg, stacked_to_svg, to_svg
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def make_series():
+    s = Series("Figure X", "procs", "cycles")
+    for label, scale in (("a-i", 100.0), ("a-u", 40.0)):
+        for p in (1, 2, 4, 8):
+            s.add(label, p, scale * p)
+    return s
+
+
+def make_bars():
+    b = StackedBars("Figure Y", ["useful", "proliferation"])
+    b.add("x-u", {"useful": 10, "proliferation": 30})
+    b.add("x-c", {"useful": 8, "proliferation": 4})
+    return b
+
+
+class TestSeriesSvg:
+    def test_valid_xml(self):
+        root = ET.fromstring(series_to_svg(make_series()))
+        assert root.tag == f"{SVG_NS}svg"
+
+    def test_one_polyline_per_line(self):
+        root = ET.fromstring(series_to_svg(make_series()))
+        polylines = root.findall(f".//{SVG_NS}polyline")
+        assert len(polylines) == 2
+
+    def test_points_monotone_for_growing_series(self):
+        root = ET.fromstring(series_to_svg(make_series()))
+        poly = root.findall(f".//{SVG_NS}polyline")[0]
+        pts = [tuple(map(float, p.split(",")))
+               for p in poly.attrib["points"].split()]
+        xs = [x for x, _ in pts]
+        ys = [y for _, y in pts]
+        assert xs == sorted(xs)
+        assert ys == sorted(ys, reverse=True)  # grows upward
+
+    def test_legend_labels_present(self):
+        svg = series_to_svg(make_series())
+        assert "a-i" in svg and "a-u" in svg
+        assert "Figure X" in svg
+
+    def test_log_scale_renders(self):
+        root = ET.fromstring(series_to_svg(make_series(), log_y=True))
+        assert root.findall(f".//{SVG_NS}polyline")
+
+    def test_empty_series(self):
+        s = Series("empty", "x", "y")
+        assert "no data" in series_to_svg(s)
+
+
+class TestStackedSvg:
+    def test_valid_xml(self):
+        root = ET.fromstring(stacked_to_svg(make_bars()))
+        assert root.tag == f"{SVG_NS}svg"
+
+    def test_rect_count_matches_nonzero_segments(self):
+        root = ET.fromstring(stacked_to_svg(make_bars()))
+        rects = root.findall(f".//{SVG_NS}rect")
+        # background + 4 segments + 2 legend swatches
+        assert len(rects) == 1 + 4 + 2
+
+    def test_segment_heights_proportional(self):
+        root = ET.fromstring(stacked_to_svg(make_bars()))
+        rects = [r for r in root.findall(f".//{SVG_NS}rect")
+                 if float(r.attrib["width"]) not in (720.0, 12.0)]
+        heights = sorted(float(r.attrib["height"]) for r in rects)
+        # 4:8:10:30 ratios, allow rounding
+        assert heights[-1] / heights[0] == pytest.approx(30 / 4, rel=0.1)
+
+    def test_empty_bars(self):
+        b = StackedBars("empty", ["a"])
+        assert "no data" in stacked_to_svg(b)
+
+
+class TestDispatch:
+    def test_to_svg_dispatch(self):
+        assert "<svg" in to_svg(make_series())
+        assert "<svg" in to_svg(make_bars())
+        with pytest.raises(TypeError):
+            to_svg(42)

@@ -1,0 +1,93 @@
+"""Tests for the processor-state timeline instrumentation."""
+
+from repro.config import MachineConfig, Protocol
+from repro.isa.ops import Compute, Fence, Read, SpinUntil, Write
+from repro.metrics.timeline import CpuState, Timeline
+from repro.runtime import Machine
+
+from tests.conftest import make_machine
+
+
+def run_instrumented(protocol=Protocol.WI):
+    m = make_machine(2, protocol)
+    tl = Timeline(m.sim)
+    addr = m.memmap.alloc_word(0)
+
+    def worker():
+        yield Compute(100)
+        yield Write(addr, 1)
+        yield Fence()
+
+    def waiter():
+        yield SpinUntil(addr, lambda v: v == 1)
+        yield Compute(50)
+
+    m.spawn(0, tl.instrument(0, worker()))
+    m.spawn(1, tl.instrument(1, waiter()))
+    result = m.run()
+    return m, tl, result
+
+
+class TestTimeline:
+    def test_intervals_cover_states(self):
+        m, tl, result = run_instrumented()
+        states0 = {iv.state for iv in tl.intervals(0)}
+        assert CpuState.COMPUTE in states0
+        states1 = {iv.state for iv in tl.intervals(1)}
+        assert CpuState.SPIN in states1
+
+    def test_intervals_ordered_and_disjoint(self):
+        m, tl, _ = run_instrumented()
+        for node in (0, 1):
+            ivs = tl.intervals(node)
+            for a, b in zip(ivs, ivs[1:]):
+                assert a.end <= b.start
+                assert a.start < a.end
+
+    def test_state_fractions_sum_to_one(self):
+        m, tl, _ = run_instrumented()
+        for node in (0, 1):
+            fr = tl.state_fractions(node)
+            assert abs(sum(fr.values()) - 1.0) < 1e-9
+
+    def test_spinner_mostly_spins(self):
+        m, tl, _ = run_instrumented()
+        fr = tl.state_fractions(1)
+        assert fr.get(CpuState.SPIN, 0) > 0.5
+
+    def test_render_has_one_row_per_processor(self):
+        m, tl, _ = run_instrumented()
+        text = tl.render(width=40)
+        lines = text.splitlines()
+        assert any(line.startswith("p0") for line in lines)
+        assert any(line.startswith("p1") for line in lines)
+        assert "compute" in lines[-1]
+
+    def test_render_empty(self):
+        m = make_machine(1, Protocol.WI)
+        tl = Timeline(m.sim)
+        assert "empty" in tl.render()
+
+    def test_instrumented_program_unchanged_semantics(self):
+        """Instrumentation must not alter results or timing."""
+        def build(instrument):
+            m = make_machine(2, Protocol.PU)
+            tl = Timeline(m.sim)
+            addr = m.memmap.alloc_word(0)
+            got = []
+
+            def prog(node):
+                yield Write(addr, node + 1)
+                v = yield Read(addr)
+                got.append(v)
+                yield Compute(10)
+                yield Fence()
+
+            for node in range(2):
+                p = prog(node)
+                m.spawn(node, tl.instrument(node, p) if instrument
+                        else p)
+            r = m.run()
+            return r.total_cycles, r.misses
+
+        assert build(True) == build(False)

@@ -1,0 +1,90 @@
+"""Unit tests for the mesh topology."""
+
+import pytest
+
+from repro.network import MeshTopology
+
+
+class TestCoordinates:
+    def test_row_major_layout(self):
+        topo = MeshTopology(8)  # 4x2
+        assert topo.coords(0) == (0, 0)
+        assert topo.coords(3) == (3, 0)
+        assert topo.coords(4) == (0, 1)
+        assert topo.coords(7) == (3, 1)
+
+    def test_node_at_roundtrip(self):
+        topo = MeshTopology(32)
+        for n in range(32):
+            assert topo.node_at(*topo.coords(n)) == n
+
+    def test_out_of_range(self):
+        topo = MeshTopology(4)
+        with pytest.raises(ValueError):
+            topo.coords(4)
+        with pytest.raises(ValueError):
+            topo.node_at(5, 0)
+
+
+class TestHops:
+    def test_self_is_zero(self):
+        topo = MeshTopology(32)
+        for n in range(32):
+            assert topo.hops(n, n) == 0
+
+    def test_symmetry(self):
+        topo = MeshTopology(32)
+        for a in range(32):
+            for b in range(32):
+                assert topo.hops(a, b) == topo.hops(b, a)
+
+    def test_manhattan_distance(self):
+        topo = MeshTopology(32)  # 8x4
+        assert topo.hops(0, 7) == 7       # same row, far ends
+        assert topo.hops(0, 24) == 3      # same column, far ends
+        assert topo.hops(0, 31) == 10     # opposite corners
+
+    def test_diameter(self):
+        assert MeshTopology(32).diameter == 10
+        assert MeshTopology(16).diameter == 6
+        assert MeshTopology(1).diameter == 0
+
+    def test_triangle_inequality(self):
+        topo = MeshTopology(16)
+        for a in range(16):
+            for b in range(16):
+                for c in range(0, 16, 5):
+                    assert (topo.hops(a, b)
+                            <= topo.hops(a, c) + topo.hops(c, b))
+
+
+class TestRouting:
+    def test_route_endpoints(self):
+        topo = MeshTopology(32)
+        route = topo.route(3, 28)
+        assert route[0] == 3
+        assert route[-1] == 28
+
+    def test_route_length_matches_hops(self):
+        topo = MeshTopology(32)
+        for a in range(0, 32, 3):
+            for b in range(0, 32, 5):
+                assert len(topo.route(a, b)) == topo.hops(a, b) + 1
+
+    def test_dimension_order_x_first(self):
+        topo = MeshTopology(16)  # 4x4
+        route = topo.route(0, 15)  # (0,0) -> (3,3)
+        # x varies first while y stays 0
+        ys = [topo.coords(n)[1] for n in route]
+        assert ys == sorted(ys)  # y never decreases after x phase
+        assert ys[:4] == [0, 0, 0, 0]
+
+    def test_route_steps_are_neighbours(self):
+        topo = MeshTopology(32)
+        route = topo.route(1, 30)
+        for a, b in zip(route, route[1:]):
+            assert topo.hops(a, b) == 1
+
+    def test_route_to_self(self):
+        topo = MeshTopology(8)
+        assert topo.route(5, 5) == [5]
