@@ -1,0 +1,40 @@
+"""Checkers: coherence sanitizer, race detector, and ISA-stream lint.
+
+Three cooperating analyses over the simulated machine (see
+``docs/checkers.md``):
+
+* :class:`CoherenceSanitizer` -- runtime protocol-invariant checks
+  (SWMR, directory/cache agreement, golden value history, fence and
+  release discipline), enabled via
+  :attr:`repro.config.MachineConfig.enable_sanitizer`;
+* :class:`RaceDetector` -- vector-clock happens-before data-race
+  detection over the machine's synchronization vocabulary, enabled via
+  :attr:`repro.config.MachineConfig.enable_race_detector`;
+* :func:`run_lint` -- a static pass over recorded ISA op streams that
+  needs no machine run.
+
+All three report through one :class:`CheckerReport`; strict machines
+raise :class:`CheckerError` at end of run when it is not clean.
+"""
+
+from repro.checkers.lint import (
+    LintEvent, LintFuelExhausted, record_streams, run_lint,
+)
+from repro.checkers.race import RaceDetector
+from repro.checkers.sanitizer import CoherenceSanitizer
+from repro.checkers.violations import (
+    CheckerError, CheckerEvent, CheckerReport, Violation,
+)
+
+__all__ = [
+    "CheckerError",
+    "CheckerEvent",
+    "CheckerReport",
+    "CoherenceSanitizer",
+    "LintEvent",
+    "LintFuelExhausted",
+    "RaceDetector",
+    "Violation",
+    "record_streams",
+    "run_lint",
+]

@@ -1,0 +1,315 @@
+"""Static lint pass over ISA op streams (no machine required).
+
+Thread programs are Python generators yielding :mod:`repro.isa.ops`
+operations, so their op streams can be *recorded* without running the
+simulated machine: a tiny functional interpreter drives the generators
+round-robin against a flat sequentially-consistent memory (every store
+is immediately visible), resolving ``SpinUntil`` predicates against
+that memory and skipping kernel hooks.  Timing disappears; the streams
+keep program order per node, which is all the rules need.
+
+Rules (per run of :func:`run_lint`):
+
+``lint:missing-release-fence`` (L1)
+    A store to a registered release word (lock handoff) with plain
+    writes since the last acquire and **no** ``Fence`` (or atomic,
+    which drains the write buffer) in between: the critical section's
+    stores can escape the lock.
+
+``lint:unshared-flush`` (L2)
+    A ``Flush`` of a block no *other* node ever accesses.  The flush
+    buys nothing and costs a miss (skipped on single-node streams).
+
+``lint:write-escapes-release`` (L3)
+    A plain store issued *after* the fence that guards a release store:
+    it is not covered by the fence and can still be buffered when the
+    lock is handed off.
+
+``lint:spin-never-satisfied`` (L4)
+    A ``SpinUntil`` whose predicate no store in the whole recorded run
+    ever satisfies -- the thread would spin forever even under
+    instantly-visible memory.
+
+Violations carry node and word/block; there are no cycles (nothing
+ran).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.checkers.violations import CheckerReport
+from repro.isa.ops import (
+    CallHook, Compute, Fence, Flush, FlushCache, Fork, Join, Read,
+    SpinUntil, Write, _AtomicOp, apply_atomic, merge_word,
+)
+
+
+@dataclass
+class LintEvent:
+    """One recorded operation of one node's stream."""
+
+    node: int
+    kind: str                 # read|write|atomic|fence|flush|flush-all|
+                              # spin-start|spin-ok
+    word: Optional[int] = None
+    block: Optional[int] = None
+
+
+class _RecordHandle:
+    """Stand-in join handle for ``Fork`` during recording."""
+
+    __slots__ = ("thread",)
+
+    def __init__(self, thread: "_Thread") -> None:
+        self.thread = thread
+
+
+class _Thread:
+    __slots__ = ("node", "gen", "send", "state", "spin", "join", "done")
+
+    def __init__(self, node: int, gen) -> None:
+        self.node = node
+        self.gen = gen
+        self.send: Any = None
+        self.state = "ready"       # ready | spin | join | done
+        self.spin: Optional[Tuple[int, Any]] = None   # (addr, predicate)
+        self.join: Optional[_Thread] = None
+        self.done = False
+
+
+class LintFuelExhausted(RuntimeError):
+    """The recorder's op budget ran out (runaway program)."""
+
+
+def record_streams(config, programs, fuel: int = 1_000_000,
+                   initial: Optional[Dict[int, Any]] = None,
+                   ) -> Tuple[List[LintEvent], List[Tuple[int, int]]]:
+    """Drive ``programs`` (iterable of ``(node, generator)``) to
+    completion against a flat memory.
+
+    ``initial`` pre-seeds the flat memory (address -> value), mirroring
+    :attr:`repro.runtime.memory_map.MemoryMap.initial_values` -- without
+    it a sense-reversing barrier's counter would start at 0 and its
+    spins could never be satisfied.
+
+    Returns ``(events, blocked)`` where ``events`` is the merged
+    per-node op stream (program order preserved within each node) and
+    ``blocked`` lists ``(node, word)`` for spins still unsatisfied when
+    no thread can make progress.
+    """
+    mem: Dict[int, Any] = {config.word_of(a): v
+                           for a, v in (initial or {}).items()}
+    events: List[LintEvent] = []
+    threads: List[_Thread] = [_Thread(n, g) for n, g in programs]
+
+    def read_word(addr: int) -> Any:
+        return mem.get(config.word_of(addr), 0)
+
+    def step(t: _Thread) -> bool:
+        """Run ``t`` until it blocks or finishes; True if it advanced."""
+        nonlocal fuel
+        advanced = False
+        while t.state == "ready":
+            if fuel <= 0:
+                raise LintFuelExhausted(
+                    f"lint recorder exceeded its op budget at node "
+                    f"{t.node} (infinite loop in the program?)")
+            fuel -= 1
+            try:
+                op = t.gen.send(t.send)
+            except StopIteration:
+                t.state, t.done = "done", True
+                return True
+            advanced = True
+            t.send = None
+            cls = op.__class__
+            if cls is Read:
+                word = config.word_of(op.addr)
+                events.append(LintEvent(t.node, "read", word,
+                                        config.block_of(op.addr)))
+                t.send = read_word(op.addr)
+            elif cls is Write:
+                word = config.word_of(op.addr)
+                events.append(LintEvent(t.node, "write", word,
+                                        config.block_of(op.addr)))
+                mem[word] = merge_word(mem.get(word), op.value, op.mask)
+            elif isinstance(op, _AtomicOp):
+                word = config.word_of(op.addr)
+                events.append(LintEvent(t.node, "atomic", word,
+                                        config.block_of(op.addr)))
+                new, result = apply_atomic(op.opname, mem.get(word),
+                                           op.operand)
+                mem[word] = new
+                t.send = result
+            elif cls is Fence:
+                events.append(LintEvent(t.node, "fence"))
+            elif cls is SpinUntil:
+                word = config.word_of(op.addr)
+                events.append(LintEvent(t.node, "spin-start", word,
+                                        config.block_of(op.addr)))
+                value = read_word(op.addr)
+                if op.predicate(value):
+                    events.append(LintEvent(t.node, "spin-ok", word,
+                                            config.block_of(op.addr)))
+                    t.send = value
+                else:
+                    t.state = "spin"
+                    t.spin = (op.addr, op.predicate)
+            elif cls is Compute:
+                pass
+            elif cls is Flush:
+                events.append(LintEvent(
+                    t.node, "flush", config.word_of(op.addr),
+                    config.block_of(op.addr)))
+            elif cls is FlushCache:
+                events.append(LintEvent(t.node, "flush-all"))
+            elif cls is CallHook:
+                # kernel hooks (ideal sync) cannot run without a
+                # machine; treat as an immediate no-op
+                pass
+            elif cls is Fork:
+                child = _Thread(op.node, op.program)
+                threads.append(child)
+                t.send = _RecordHandle(child)
+            elif cls is Join:
+                target = op.handle
+                if isinstance(target, _RecordHandle):
+                    target = target.thread
+                if getattr(target, "done", False):
+                    pass
+                else:
+                    t.state = "join"
+                    t.join = target
+            else:
+                raise TypeError(f"thread yielded a non-Op: {op!r}")
+        return advanced
+
+    while True:
+        progress = False
+        for t in list(threads):
+            if t.state == "spin":
+                addr, pred = t.spin
+                value = read_word(addr)
+                if pred(value):
+                    word = config.word_of(addr)
+                    events.append(LintEvent(t.node, "spin-ok", word,
+                                            config.block_of(addr)))
+                    t.state, t.spin, t.send = "ready", None, value
+            elif t.state == "join":
+                if t.join.done:
+                    t.state, t.join = "ready", None
+            if t.state == "ready":
+                if step(t):
+                    progress = True
+        if all(t.state == "done" for t in threads):
+            break
+        if not progress:
+            break                  # blocked: reported as L4 / deadlock
+
+    blocked = [(t.node, config.word_of(t.spin[0]))
+               for t in threads if t.state == "spin"]
+    return events, blocked
+
+
+# ----------------------------------------------------------------------
+# rules
+# ----------------------------------------------------------------------
+
+def _label(memmap, word: int) -> str:
+    cfg = memmap.config
+    for al in memmap.allocations:
+        if al.addr <= word < al.addr + max(al.nbytes, cfg.word_size_bytes):
+            return f" ({al.label})" if al.label else ""
+    return ""
+
+
+def run_lint(memmap, programs, fuel: int = 1_000_000,
+             report: Optional[CheckerReport] = None) -> CheckerReport:
+    """Record ``programs`` and apply all lint rules.
+
+    ``memmap`` supplies the sync/release word registry (build the
+    machine, let the workload allocate its locks and barriers, and pass
+    ``machine.memmap`` with fresh program generators -- the machine
+    itself never runs).
+    """
+    config = memmap.config
+    if report is None:
+        report = CheckerReport()
+    events, blocked = record_streams(config, list(programs), fuel=fuel,
+                                     initial=memmap.initial_values)
+
+    nodes = {ev.node for ev in events}
+    sync = memmap.sync_words
+    releases = memmap.release_words
+
+    # --- per-node release-discipline scan (L1, L3) --------------------
+    pending: Dict[int, List[int]] = {}       # plain writes since fence
+    fenced: Dict[int, bool] = {}             # fence since last acquire
+    for ev in events:
+        n = ev.node
+        if ev.kind in ("fence", "atomic", "flush-all"):
+            pending[n] = []
+            fenced[n] = True
+            continue
+        if ev.kind == "spin-ok":
+            # acquire: a new region begins.  (A plain *read* of a sync
+            # word is deliberately not an acquire here: the ticket
+            # release reads now_serving right before the handoff store,
+            # and treating that read as an acquire would mask a missing
+            # fence.  Every lock in the library acquires via SpinUntil.)
+            pending[n] = []
+            fenced[n] = False
+            continue
+        if ev.kind != "write":
+            continue
+        if ev.word in releases:
+            writes = pending.get(n, [])
+            if writes:
+                words = ", ".join(f"{w:#x}{_label(memmap, w)}"
+                                  for w in sorted(set(writes)))
+                if not fenced.get(n, False):
+                    report.violation(
+                        "lint", "missing-release-fence",
+                        f"release store{_label(memmap, ev.word)} with "
+                        f"no Fence since the last acquire; unfenced "
+                        f"write(s) to {words} can escape the lock",
+                        node=n, word=ev.word, block=ev.block)
+                else:
+                    report.violation(
+                        "lint", "write-escapes-release",
+                        f"plain write(s) to {words} issued after the "
+                        f"fence guarding the release "
+                        f"store{_label(memmap, ev.word)}",
+                        node=n, word=ev.word, block=ev.block)
+            pending[n] = []
+        elif ev.word not in sync:
+            pending.setdefault(n, []).append(ev.word)
+
+    # --- unshared flush (L2) ------------------------------------------
+    if len(nodes) > 1:
+        accessors: Dict[int, Set[int]] = {}
+        for ev in events:
+            if ev.block is not None and ev.kind != "flush":
+                accessors.setdefault(ev.block, set()).add(ev.node)
+        for ev in events:
+            if ev.kind != "flush":
+                continue
+            others = accessors.get(ev.block, set()) - {ev.node}
+            if not others:
+                report.violation(
+                    "lint", "unshared-flush",
+                    f"Flush of a block no other node ever accesses"
+                    f"{_label(memmap, ev.word)}: pure overhead",
+                    node=ev.node, word=ev.word, block=ev.block)
+
+    # --- spins nothing satisfies (L4) ---------------------------------
+    for node, word in blocked:
+        report.violation(
+            "lint", "spin-never-satisfied",
+            f"SpinUntil on word {word:#x}{_label(memmap, word)} is "
+            f"never satisfied by any store in the recorded run",
+            node=node, word=word, block=config.block_of(word))
+
+    return report

@@ -1,0 +1,246 @@
+"""Happens-before data-race detector (vector clocks over release
+consistency).
+
+The detector threads one vector clock per node through the dynamic
+execution, building the happens-before order out of the machine's
+synchronization vocabulary:
+
+* ``Fence`` snapshots the node's clock into its *released* clock
+  ``rel`` -- the knowledge whose writes are guaranteed globally
+  performed (release consistency: a fence drains the write buffer and
+  collects all acks);
+* every store publishes ``rel`` onto the written word, so any word can
+  act as a release channel (the RC model: a release is just a store the
+  consumer later synchronizes on);
+* an *acquire* -- a successful :class:`~repro.isa.ops.SpinUntil`, a read
+  of a registered synchronization word, or an atomic -- joins the
+  word's published clock into both ``vc`` and ``rel``.  Joining into
+  ``rel`` too makes synchronization chains transitive (a tree-barrier
+  root republishes its children's knowledge without fencing in
+  between: everything it learned via acquires is already globally
+  performed);
+* atomics force a write-buffer drain in this machine, so they act as a
+  fence for the node's own prior writes as well (``rel := vc``), then
+  publish and acquire on their word;
+* ``Fork``/``Join`` and the ideal (zero-traffic) lock/barrier establish
+  full edges through the simulation kernel.
+
+Conflicting accesses (two accesses to one word, at least one a write,
+from different nodes) not ordered by this relation are reported as
+races.  Words used *as* synchronization are exempt from the conflict
+check: the sync library registers its lock/barrier words via
+:meth:`repro.runtime.memory_map.MemoryMap.mark_sync`, and every
+``SpinUntil`` target is whitelisted dynamically (the paper's spin-wait
+idiom is a benign race by construction).
+
+Note the detector checks the *portable* release-consistency contract,
+which is slightly stronger than what this simulator's FIFO fabric and
+FIFO write buffer enforce: a plain store chain with no fence (the
+``unfenced MP`` litmus pattern) is safe on this machine but is still
+reported as a race, because it would not survive a weaker memory
+system.  Programs that rely on the machine ordering intentionally
+should run with the detector off (or fence before publishing).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.checkers.violations import CheckerReport
+
+
+class WordState:
+    """Per-word race-detector metadata."""
+
+    __slots__ = ("write", "reads", "release")
+
+    def __init__(self, nprocs: int) -> None:
+        #: last plain write as an epoch (node, clock), or None
+        self.write: Optional[Tuple[int, int]] = None
+        #: node -> clock of that node's last plain read since the last
+        #: ordered write
+        self.reads: Dict[int, int] = {}
+        #: vector clock published onto this word by stores/atomics
+        self.release: List[int] = [0] * nprocs
+
+
+class RaceDetector:
+    """Vector-clock happens-before checker for one machine run."""
+
+    def __init__(self, config, memmap, report: CheckerReport) -> None:
+        self.config = config
+        self.memmap = memmap
+        self.report = report
+        P = config.num_procs
+        self.nprocs = P
+        #: vc[n][m]: node n's knowledge of node m's progress
+        self.vc: List[List[int]] = [[0] * P for _ in range(P)]
+        #: rel[n]: the part of vc[n] whose writes have globally performed
+        self.rel: List[List[int]] = [[0] * P for _ in range(P)]
+        self.words: Dict[int, WordState] = {}
+        #: SpinUntil targets and atomic-accessed words, whitelisted at
+        #: first use (in addition to the statically registered
+        #: memmap.sync_words)
+        self.dynamic_sync: Set[int] = set()
+        #: ideal-synchronization channels (object id -> vector clock)
+        self._channels: Dict[int, List[int]] = {}
+        self._reported: Set[Tuple[int, str, int, int]] = set()
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _join(dst: List[int], src: List[int]) -> None:
+        for i, s in enumerate(src):
+            if s > dst[i]:
+                dst[i] = s
+
+    def _word_state(self, word: int) -> WordState:
+        ws = self.words.get(word)
+        if ws is None:
+            ws = self.words[word] = WordState(self.nprocs)
+        return ws
+
+    def _is_sync(self, word: int) -> bool:
+        return word in self.memmap.sync_words or word in self.dynamic_sync
+
+    def _race(self, kind: str, word: int, a: int, b: int,
+              detail: str) -> None:
+        key = (word, kind, min(a, b), max(a, b))
+        if key in self._reported:
+            return
+        self._reported.add(key)
+        alloc = next((al.label for al in self.memmap.allocations
+                      if al.addr <= word < al.addr + max(
+                          al.nbytes, self.config.word_size_bytes)), None)
+        label = f" ({alloc})" if alloc else ""
+        self.report.violation(
+            "race", kind,
+            f"unordered conflicting accesses to word "
+            f"{word:#x}{label}: {detail}",
+            node=b, word=word, block=self.config.block_of(word))
+
+    # ------------------------------------------------------------------
+    # processor-driven happens-before events
+    # ------------------------------------------------------------------
+
+    def on_read(self, node: int, addr: int) -> None:
+        word = self.config.word_of(addr)
+        ws = self._word_state(word)
+        if self._is_sync(word):
+            # reading a synchronization word is an acquire
+            self._join(self.vc[node], ws.release)
+            self._join(self.rel[node], ws.release)
+            return
+        w = ws.write
+        if w is not None and w[0] != node and w[1] > self.vc[node][w[0]]:
+            self._race("data-race", word, w[0], node,
+                       f"write by node {w[0]} (epoch {w[1]}) vs read "
+                       f"by node {node}")
+        self.vc[node][node] += 1
+        ws.reads[node] = self.vc[node][node]
+
+    def on_write(self, node: int, addr: int, value: Any = None,
+                 mask: Optional[int] = None) -> None:
+        word = self.config.word_of(addr)
+        ws = self._word_state(word)
+        # every store publishes the node's globally-performed knowledge
+        self._join(ws.release, self.rel[node])
+        if self._is_sync(word):
+            return
+        self.vc[node][node] += 1
+        clock = self.vc[node][node]
+        w = ws.write
+        if w is not None and w[0] != node and w[1] > self.vc[node][w[0]]:
+            self._race("data-race", word, w[0], node,
+                       f"write by node {w[0]} (epoch {w[1]}) vs write "
+                       f"by node {node}")
+        for t, c in ws.reads.items():
+            if t != node and c > self.vc[node][t]:
+                self._race("data-race", word, t, node,
+                           f"read by node {t} (epoch {c}) vs write "
+                           f"by node {node}")
+        ws.write = (node, clock)
+        ws.reads.clear()
+
+    def on_atomic_issue(self, node: int, addr: int) -> None:
+        """The atomic was issued (publish side).
+
+        Atomics serialize at the word's owner (cache controller under
+        WI, home memory under PU/CU), and the issuing processor blocks
+        until completion.  Publishing at *issue* time and acquiring at
+        *completion* time brackets the unknown serialization point:
+        for atomics A then B in serialization order,
+        ``A.issue <= A.serialize < B.serialize <= B.complete``, so B's
+        acquire always sees A's publish regardless of issue order.
+        """
+        word = self.config.word_of(addr)
+        # atomic-accessed words are synchronization objects: concurrent
+        # atomics never race, and mixing them with plain accesses is the
+        # sync library's handoff idiom
+        self.dynamic_sync.add(word)
+        ws = self._word_state(word)
+        # atomics drain the write buffer before executing, so the
+        # node's own prior writes have performed by the time any other
+        # node can synchronize on this publish: fence semantics for rel
+        self.rel[node] = list(self.vc[node])
+        self._join(ws.release, self.vc[node])
+
+    def on_atomic_complete(self, node: int, addr: int) -> None:
+        """The atomic's result arrived (acquire side)."""
+        ws = self._word_state(self.config.word_of(addr))
+        self._join(self.vc[node], ws.release)
+        self.rel[node] = list(self.vc[node])
+        self._join(ws.release, self.vc[node])
+
+    def on_atomic(self, node: int, addr: int) -> None:
+        """Issue + completion in one step (unit-test convenience)."""
+        self.on_atomic_issue(node, addr)
+        self.on_atomic_complete(node, addr)
+
+    def on_fence(self, node: int) -> None:
+        self.rel[node] = list(self.vc[node])
+
+    def on_spin_start(self, node: int, addr: int) -> None:
+        # the paper's spin-wait idiom: the target is a benign race
+        self.dynamic_sync.add(self.config.word_of(addr))
+
+    def on_spin_success(self, node: int, word: int) -> None:
+        ws = self._word_state(word)
+        self._join(self.vc[node], ws.release)
+        self._join(self.rel[node], ws.release)
+
+    # ------------------------------------------------------------------
+    # kernel-level synchronization (fork/join, ideal primitives)
+    # ------------------------------------------------------------------
+
+    def on_fork(self, parent: int, child: int) -> None:
+        self._join(self.vc[child], self.vc[parent])
+        self._join(self.rel[child], self.vc[parent])
+
+    def on_join(self, parent: int, child: int) -> None:
+        self._join(self.vc[parent], self.vc[child])
+        self._join(self.rel[parent], self.vc[child])
+
+    def ideal_release(self, node: int, channel: int) -> None:
+        """An ideal lock release (the holder fenced first)."""
+        ch = self._channels.get(channel)
+        if ch is None:
+            ch = self._channels[channel] = [0] * self.nprocs
+        self._join(ch, self.vc[node])
+
+    def ideal_acquire(self, node: int, channel: int) -> None:
+        ch = self._channels.get(channel)
+        if ch is not None:
+            self._join(self.vc[node], ch)
+            self._join(self.rel[node], ch)
+
+    def ideal_barrier(self, nodes: List[int]) -> None:
+        """An ideal barrier episode: all-to-all edges."""
+        joined = [0] * self.nprocs
+        for n in nodes:
+            self._join(joined, self.vc[n])
+        for n in nodes:
+            self._join(self.vc[n], joined)
+            self._join(self.rel[n], joined)

@@ -1,0 +1,239 @@
+"""Coherence sanitizer: runtime invariant checks over the protocols.
+
+A pluggable observer hooked into the per-node controllers
+(:mod:`repro.protocols.base` and subclasses) and consulted by the
+machine at the end of a run.  It enforces, while the simulation runs:
+
+* **SWMR** -- at every exclusive-entry point (WI upgrade/rdex fills and
+  atomics, PU retain grants) no *other* cache may hold the block in an
+  exclusive state (MODIFIED/RETAINED).  Shared copies may transiently
+  coexist with the new owner while invalidation acks are in flight;
+  full directory/cache agreement is checked at quiescence.
+* **read-value integrity** -- every value a read returns must be one
+  the golden write history knows: a value some store (or atomic, or
+  merged sub-word store) actually produced for that word, the word's
+  declared initial value, or uninitialized zero.  Reads served while
+  the node's own write buffer holds stores to the word are skipped
+  (the composed value is not yet part of any coherent copy).
+* **fence completion** -- when a fence fires, the write buffer must be
+  empty, no write transaction in flight, and every expected
+  invalidation/update ack collected.  Checked at fire time,
+  independently of the controller's own ``_fence_ok`` predicate.
+* **release discipline** -- a store to a registered release word (lock
+  handoff: see :meth:`repro.runtime.memory_map.MemoryMap.mark_release`)
+  while earlier writes are still buffered, retiring, or un-acked means
+  a missing fence: the critical section could escape the lock.
+* **promoted defensive guards** -- the sequence-number install guards
+  (stale invalidation ignored; invalidation overtaking a fill) report
+  informational events instead of silently dropping.
+
+At end of run :meth:`finalize` checks directory/cache agreement and
+that every surviving cached or authoritative memory value belongs to
+the golden history.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Set
+
+from repro.checkers.violations import CheckerReport
+from repro.memsys.cache import CacheState
+
+#: cache states that grant exclusive (locally writable) access
+EXCLUSIVE_STATES = (CacheState.MODIFIED, CacheState.RETAINED)
+
+
+class CoherenceSanitizer:
+    """Runtime coherence invariant checker for one machine."""
+
+    def __init__(self, machine, report: CheckerReport) -> None:
+        self.machine = machine
+        self.report = report
+        self.config = machine.config
+        self.memmap = machine.memmap
+        #: golden write history: word -> every value legally produced
+        self._values: Dict[int, Set[Any]] = {}
+
+    # ------------------------------------------------------------------
+    # golden value history
+    # ------------------------------------------------------------------
+
+    def record_value(self, word: int, value: Any) -> None:
+        """Record a value as legally current for ``word`` (called at
+        every point a protocol computes a word's new coherent value)."""
+        s = self._values.get(word)
+        if s is None:
+            s = self._values[word] = set()
+        s.add(value)
+
+    def _legal(self, word: int, value: Any) -> bool:
+        s = self._values.get(word)
+        if s is not None and value in s:
+            return True
+        if value == self.memmap.initial_values.get(word, 0):
+            return True
+        return value == 0          # uninitialized shared memory
+
+    def check_read(self, node: int, block: int, word: int,
+                   value: Any, state: str = "") -> None:
+        if not self._legal(word, value):
+            self.report.violation(
+                "sanitizer", "read-value",
+                f"read returned {value!r}, never written to this word",
+                cycle=self.machine.sim.now, node=node, block=block,
+                word=word, state=state or None)
+
+    def check_update(self, node: int, block: int, word: int,
+                     value: Any) -> None:
+        """An incoming update propagation must carry a known value."""
+        if not self._legal(word, value):
+            self.report.violation(
+                "sanitizer", "update-value",
+                f"update carried {value!r}, never written to this word",
+                cycle=self.machine.sim.now, node=node, block=block,
+                word=word)
+
+    # ------------------------------------------------------------------
+    # SWMR
+    # ------------------------------------------------------------------
+
+    def on_exclusive(self, node: int, block: int) -> None:
+        """``node`` just obtained an exclusive copy of ``block``."""
+        for ctrl in self.machine.controllers:
+            if ctrl.node == node:
+                continue
+            line = ctrl.cache.peek(block)
+            if line is not None and line.state in EXCLUSIVE_STATES:
+                self.report.violation(
+                    "sanitizer", "swmr",
+                    f"node {node} became exclusive while node "
+                    f"{ctrl.node} holds an exclusive copy",
+                    cycle=self.machine.sim.now, node=node, block=block,
+                    state=line.state.value)
+
+    # ------------------------------------------------------------------
+    # release consistency
+    # ------------------------------------------------------------------
+
+    def wrap_fence(self, ctrl, cb):
+        """Wrap a fence continuation with a fire-time completion check."""
+        def checked() -> None:
+            if (not ctrl.wb.empty or ctrl._retiring
+                    or ctrl.outstanding_acks != 0):
+                self.report.violation(
+                    "sanitizer", "fence-incomplete",
+                    f"fence fired with {len(ctrl.wb)} buffered write(s), "
+                    f"retiring={ctrl._retiring}, "
+                    f"acks={ctrl.outstanding_acks}",
+                    cycle=self.machine.sim.now, node=ctrl.node)
+            cb()
+        return checked
+
+    def check_release_store(self, ctrl, word: int, value: Any) -> None:
+        """A store to a release word must find the node quiescent."""
+        if word not in self.memmap.release_words:
+            return
+        pred = self.memmap.release_words[word]
+        if pred is not None and not pred(value):
+            return
+        if not ctrl._fence_ok():
+            self.report.violation(
+                "sanitizer", "release-store",
+                f"release store of {value!r} issued with "
+                f"{len(ctrl.wb)} buffered write(s), "
+                f"retiring={ctrl._retiring}, "
+                f"acks={ctrl.outstanding_acks} (missing fence before "
+                f"lock handoff)",
+                cycle=self.machine.sim.now, node=ctrl.node,
+                block=self.config.block_of(word), word=word)
+
+    # ------------------------------------------------------------------
+    # promoted defensive guards (informational events)
+    # ------------------------------------------------------------------
+
+    def event(self, kind: str, detail: str, node: int = None,
+              block: int = None) -> None:
+        self.report.event("sanitizer", kind, detail,
+                          cycle=self.machine.sim.now, node=node,
+                          block=block)
+
+    # ------------------------------------------------------------------
+    # end-of-run checks
+    # ------------------------------------------------------------------
+
+    def finalize(self) -> None:
+        """Directory/cache agreement + value convergence (quiesced)."""
+        machine = self.machine
+        controllers = machine.controllers
+        cfg = self.config
+        from repro.memsys.directory import DirState
+
+        for ctrl in controllers:
+            for block, ent in ctrl.directory.entries().items():
+                dirty = [(c.node, ln) for c in controllers
+                         if (ln := c.cache.peek(block)) is not None
+                         and ln.state in EXCLUSIVE_STATES]
+                if len(dirty) > 1:
+                    self.report.violation(
+                        "sanitizer", "swmr",
+                        f"multiple exclusive copies at "
+                        f"{[n for n, _ in dirty]} after quiescence",
+                        block=block, state=DirState.DIRTY.value)
+                if ent.state is DirState.DIRTY:
+                    if [n for n, _ in dirty] != [ent.owner]:
+                        self.report.violation(
+                            "sanitizer", "dir-agreement",
+                            f"directory says dirty at {ent.owner}, "
+                            f"caches say {[n for n, _ in dirty]}",
+                            block=block, state=ent.state.value)
+                else:
+                    if dirty:
+                        self.report.violation(
+                            "sanitizer", "dir-agreement",
+                            f"directory {ent.state.value} but exclusive "
+                            f"copy at {[n for n, _ in dirty]}",
+                            block=block, state=ent.state.value)
+                    holders = {c.node for c in controllers
+                               if c.cache.peek(block) is not None}
+                    missing = holders - ent.sharers
+                    if missing:
+                        self.report.violation(
+                            "sanitizer", "dir-agreement",
+                            f"cached at {sorted(missing)} unknown to "
+                            f"the directory "
+                            f"(sharers={sorted(ent.sharers)})",
+                            block=block, state=ent.state.value)
+
+        # every surviving cached value must belong to the golden history
+        for ctrl in controllers:
+            for block in ctrl.cache.resident_blocks():
+                line = ctrl.cache.peek(block)
+                if line is None:
+                    continue
+                for word, value in line.data.items():
+                    if not self._legal(word, value):
+                        self.report.violation(
+                            "sanitizer", "stale-value",
+                            f"cached copy holds {value!r}, never "
+                            f"written to this word",
+                            node=ctrl.node, block=block, word=word,
+                            state=line.state.value)
+
+        # the authoritative copy (dirty owner or home memory) of every
+        # written word must hold a value from the history
+        for word in self._values:
+            block = cfg.block_of(word)
+            value = None
+            for ctrl in controllers:
+                line = ctrl.cache.peek(block)
+                if line is not None and line.state in EXCLUSIVE_STATES:
+                    value = line.data.get(word, 0)
+            if value is None:
+                home = cfg.home_of_block(block)
+                value = controllers[home].mem.read_word(word)
+            if not self._legal(word, value):
+                self.report.violation(
+                    "sanitizer", "final-value",
+                    f"authoritative copy holds {value!r}, never "
+                    f"written to this word",
+                    block=block, word=word)

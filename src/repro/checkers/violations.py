@@ -1,0 +1,140 @@
+"""Violation records shared by the three checkers (subsystem S15).
+
+Every checker (coherence sanitizer, happens-before race detector, static
+lint pass) reports through the same :class:`Violation` record and
+:class:`CheckerReport` container so that tests, the ``check`` CLI and
+strict-mode machines all consume one format.
+
+A violation names the *checker* that found it, a short *rule* id, and --
+whenever the dynamic checkers can supply them -- the cycle, node, block,
+word and protocol state involved.  Informational *events* (e.g. the
+promoted sequence-number install guards) ride in the same report but do
+not fail a strict run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One checker finding.
+
+    ``cycle``/``node``/``block``/``word``/``state`` are ``None`` when the
+    checker cannot know them (the static lint pass has no cycles; a
+    race involves two accesses, detailed in ``detail`` instead).
+    """
+
+    checker: str                      # "sanitizer" | "race" | "lint"
+    rule: str                         # short rule id, e.g. "swmr"
+    detail: str                       # human-readable description
+    cycle: Optional[int] = None
+    node: Optional[int] = None
+    block: Optional[int] = None
+    word: Optional[int] = None
+    state: Optional[str] = None       # protocol/cache state, if known
+
+    def __str__(self) -> str:
+        where = []
+        if self.cycle is not None:
+            where.append(f"cycle={self.cycle}")
+        if self.node is not None:
+            where.append(f"node={self.node}")
+        if self.block is not None:
+            where.append(f"blk={self.block}")
+        if self.word is not None:
+            where.append(f"word={self.word:#x}")
+        if self.state is not None:
+            where.append(f"state={self.state}")
+        loc = f" [{' '.join(where)}]" if where else ""
+        return f"{self.checker}:{self.rule}{loc} {self.detail}"
+
+
+@dataclass(frozen=True)
+class CheckerEvent:
+    """An informational (non-failing) checker observation."""
+
+    checker: str
+    kind: str
+    detail: str
+    cycle: Optional[int] = None
+    node: Optional[int] = None
+    block: Optional[int] = None
+
+    def __str__(self) -> str:
+        where = []
+        if self.cycle is not None:
+            where.append(f"cycle={self.cycle}")
+        if self.node is not None:
+            where.append(f"node={self.node}")
+        if self.block is not None:
+            where.append(f"blk={self.block}")
+        loc = f" [{' '.join(where)}]" if where else ""
+        return f"{self.checker}:{self.kind}{loc} {self.detail}"
+
+
+class CheckerReport:
+    """Accumulates violations and events across all enabled checkers."""
+
+    def __init__(self) -> None:
+        self.violations: List[Violation] = []
+        self.events: List[CheckerEvent] = []
+
+    # ------------------------------------------------------------------
+
+    def violation(self, checker: str, rule: str, detail: str,
+                  **kw: Any) -> Violation:
+        v = Violation(checker, rule, detail, **kw)
+        self.violations.append(v)
+        return v
+
+    def event(self, checker: str, kind: str, detail: str,
+              **kw: Any) -> CheckerEvent:
+        e = CheckerEvent(checker, kind, detail, **kw)
+        self.events.append(e)
+        return e
+
+    # ------------------------------------------------------------------
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    def by_checker(self, checker: str) -> List[Violation]:
+        return [v for v in self.violations if v.checker == checker]
+
+    def by_rule(self, rule: str) -> List[Violation]:
+        return [v for v in self.violations if v.rule == rule]
+
+    def events_of(self, kind: str) -> List[CheckerEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def render(self) -> str:
+        lines = []
+        if self.violations:
+            lines.append(f"{len(self.violations)} violation(s):")
+            lines.extend(f"  {v}" for v in self.violations)
+        else:
+            lines.append("no violations")
+        if self.events:
+            lines.append(f"{len(self.events)} event(s):")
+            lines.extend(f"  {e}" for e in self.events)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<CheckerReport violations={len(self.violations)} "
+                f"events={len(self.events)}>")
+
+
+class CheckerError(AssertionError):
+    """Raised by a strict machine when a checker found violations.
+
+    Subclasses ``AssertionError`` so checker failures read as invariant
+    breaches to the test suite.
+    """
+
+    def __init__(self, report: CheckerReport) -> None:
+        super().__init__(report.render())
+        self.report = report

@@ -156,6 +156,17 @@ class MachineConfig:
     #: release consistency as in the paper
     sequential_consistency: bool = False
 
+    # --- checkers (src/repro/checkers) ---------------------------------
+    #: run the coherence sanitizer (SWMR, directory/cache agreement,
+    #: golden-value reads, fence/release discipline) during the run
+    enable_sanitizer: bool = False
+    #: run the happens-before data-race detector during the run
+    enable_race_detector: bool = False
+    #: raise :class:`repro.checkers.CheckerError` at end of run if any
+    #: enabled checker reported violations (otherwise the report is
+    #: left on ``machine.checker_report`` for inspection)
+    checkers_strict: bool = True
+
     # --- misc ----------------------------------------------------------
     #: latency of a purely node-local request (cache controller to the
     #: local home, no network traversal).

@@ -1,12 +1,15 @@
 """Discrete-event simulation kernel (subsystem S1)."""
 
-from repro.engine.simulator import Simulator, SimulationError, DeadlockError
+from repro.engine.simulator import (
+    DeadlockError, SimulationError, Simulator, StuckThread,
+)
 from repro.engine.trace import Tracer, NullTracer
 
 __all__ = [
     "Simulator",
     "SimulationError",
     "DeadlockError",
+    "StuckThread",
     "Tracer",
     "NullTracer",
 ]

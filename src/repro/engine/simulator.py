@@ -15,15 +15,37 @@ implementation stays deliberately small: events are plain tuples on a
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 
 class SimulationError(RuntimeError):
     """Base class for simulation failures."""
 
 
+@dataclass(frozen=True)
+class StuckThread:
+    """One thread still blocked when the event queue drained."""
+
+    node: int
+    op: str                    # repr of the operation it was blocked on
+
+    def __str__(self) -> str:
+        return f"node {self.node} blocked at {self.op}"
+
+
 class DeadlockError(SimulationError):
-    """Raised when the event queue drains while threads are still blocked."""
+    """Raised when the event queue drains while threads are still blocked.
+
+    ``stuck`` attributes the deadlock: one :class:`StuckThread` per
+    never-finished thread, naming its node and the operation it was
+    blocked on.
+    """
+
+    def __init__(self, message: str,
+                 stuck: Sequence[StuckThread] = ()) -> None:
+        super().__init__(message)
+        self.stuck: List[StuckThread] = list(stuck)
 
 
 class Simulator:

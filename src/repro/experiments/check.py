@@ -1,0 +1,346 @@
+"""The ``check`` subcommand: ``python -m repro.experiments check``.
+
+Runs all three checkers over a litmus suite of self-checking programs
+-- fenced message passing, a spin handshake, lock-protected counters
+for every lock kind, barrier phase programs for every barrier kind --
+plus two full applications (histogram, work queue), each under WI, PU
+and CU with the coherence sanitizer and the happens-before race
+detector enabled in strict mode.  A separate static section records
+the op streams of representative programs and runs the lint pass over
+them, no machine required.
+
+Every program in the suite follows the *portable* release-consistency
+discipline the race detector checks (see ``docs/checkers.md``): data
+is published only behind a ``Fence`` (or an atomic, which drains the
+write buffer), and phase programs fence before **every** barrier wait
+-- barrier arrival stores publish only the fenced part of a node's
+knowledge.
+
+Exit status 0 when every combination is clean, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, List, Optional, Tuple
+
+from repro.config import ALL_PROTOCOLS, MachineConfig, Protocol
+from repro.checkers import CheckerError, run_lint
+from repro.isa.ops import Compute, Fence, Read, SpinUntil, Write
+from repro.runtime import Machine
+from repro.sync.barriers import BARRIER_KINDS, make_barrier
+from repro.sync.locks import ALL_LOCK_KINDS, make_lock
+
+#: words of payload published by the message-passing litmus
+MP_WORDS = 4
+#: critical-section entries per node in the lock litmus
+LOCK_ROUNDS = 4
+#: barrier episodes (x2 waits each) in the phase litmus
+BARRIER_PHASES = 3
+#: handshake round trips
+HANDSHAKE_ROUNDS = 4
+
+
+def checked_config(protocol: Protocol, procs: int) -> MachineConfig:
+    """A machine config with both dynamic checkers on, strict."""
+    return MachineConfig(num_procs=procs, protocol=protocol,
+                         enable_sanitizer=True,
+                         enable_race_detector=True,
+                         checkers_strict=True)
+
+
+def final_value(machine: Machine, addr: int):
+    """The authoritative value of ``addr`` after a run (dirty copy if
+    one exists, else home memory) -- same rule as the sanitizer's
+    final-value check."""
+    from repro.memsys.cache import CacheState
+
+    cfg = machine.config
+    word = cfg.word_of(addr)
+    block = cfg.block_of(addr)
+    for ctrl in machine.controllers:
+        line = ctrl.cache.lookup(block)
+        if line is not None and line.state in (CacheState.MODIFIED,
+                                               CacheState.RETAINED):
+            return line.data.get(word, 0)
+    home = machine.memmap.home_of(addr)
+    return machine.controllers[home].mem.read_word(word)
+
+
+# ----------------------------------------------------------------------
+# litmus programs (self-checking, portable-RC clean)
+# ----------------------------------------------------------------------
+
+def run_mp(config: MachineConfig) -> None:
+    """Fenced message passing: one producer, P-1 consumers."""
+    machine = Machine(config)
+    mm = machine.memmap
+    data = [mm.alloc_word(0, f"mp.data{i}") for i in range(MP_WORDS)]
+    flag = mm.alloc_word(0, "mp.flag")
+
+    def producer(node: int):
+        for i, addr in enumerate(data):
+            yield Write(addr, 100 + i)
+        yield Fence()                     # publish before the flag store
+        yield Write(flag, 1)
+
+    def consumer(node: int):
+        yield SpinUntil(flag, lambda v: v == 1)
+        for i, addr in enumerate(data):
+            got = yield Read(addr)
+            if got != 100 + i:
+                raise AssertionError(
+                    f"mp: node {node} read {got} from data{i}")
+
+    machine.spawn(0, producer(0))
+    for n in range(1, config.num_procs):
+        machine.spawn(n, consumer(n))
+    machine.run()
+
+
+def run_handshake(config: MachineConfig) -> None:
+    """Two-node ping-pong through a pair of spin flags, carrying a
+    payload word each way."""
+    machine = Machine(config)
+    mm = machine.memmap
+    ping = mm.alloc_word(0, "hs.ping")
+    pong = mm.alloc_word(1 % config.num_procs, "hs.pong")
+    payload = mm.alloc_word(0, "hs.payload")
+
+    def side_a(node: int):
+        for r in range(1, HANDSHAKE_ROUNDS + 1):
+            yield Write(payload, r * 10)
+            yield Fence()
+            yield Write(ping, r)
+            yield SpinUntil(pong, lambda v, r=r: v == r)
+            got = yield Read(payload)
+            if got != r * 10 + 1:
+                raise AssertionError(f"handshake: A read {got} in "
+                                     f"round {r}")
+
+    def side_b(node: int):
+        for r in range(1, HANDSHAKE_ROUNDS + 1):
+            yield SpinUntil(ping, lambda v, r=r: v == r)
+            got = yield Read(payload)
+            if got != r * 10:
+                raise AssertionError(f"handshake: B read {got} in "
+                                     f"round {r}")
+            yield Write(payload, r * 10 + 1)
+            yield Fence()
+            yield Write(pong, r)
+
+    machine.spawn(0, side_a(0))
+    machine.spawn(1 % config.num_procs, side_b(1))
+    machine.run()
+
+
+def run_lock_counter(config: MachineConfig, lock_kind: str) -> None:
+    """Every node increments a shared counter under the lock."""
+    machine = Machine(config)
+    lock = make_lock(lock_kind, machine, home=0)
+    counter = machine.memmap.alloc_word(0, "counter")
+
+    def program(node: int):
+        for _ in range(LOCK_ROUNDS):
+            token = yield from lock.acquire(node)
+            value = yield Read(counter)
+            yield Compute(5)
+            yield Write(counter, value + 1)
+            yield from lock.release(node, token)
+        yield Fence()
+
+    machine.spawn_all(program)
+    machine.run()
+    expected = config.num_procs * LOCK_ROUNDS
+    got = final_value(machine, counter)
+    if got != expected:
+        raise AssertionError(
+            f"lock counter ({lock_kind}): {got} != {expected}")
+
+
+def run_barrier_phases(config: MachineConfig, barrier_kind: str) -> None:
+    """Neighbour-exchange phases: write own slot, barrier, read the
+    left neighbour's slot, barrier.  Fences before *every* wait (the
+    portable discipline: arrival stores publish only fenced knowledge,
+    and read epochs advance the clock too)."""
+    machine = Machine(config)
+    bar = make_barrier(barrier_kind, machine)
+    mm = machine.memmap
+    P = config.num_procs
+    slots = [mm.alloc_word(n, f"phase.slot{n}") for n in range(P)]
+
+    def program(node: int):
+        for phase in range(1, BARRIER_PHASES + 1):
+            yield Write(slots[node], phase)
+            yield Fence()
+            yield from bar.wait(node)
+            left = (node - 1) % P
+            got = yield Read(slots[left])
+            if got != phase:
+                raise AssertionError(
+                    f"phases ({barrier_kind}): node {node} read {got} "
+                    f"from slot {left} in phase {phase}")
+            yield Fence()
+            yield from bar.wait(node)
+
+    machine.spawn_all(program)
+    machine.run()
+
+
+def run_histogram_checked(config: MachineConfig) -> None:
+    from repro.apps.histogram import run_histogram
+    run_histogram(config, items_per_proc=8, num_bins=4)
+
+
+def run_workqueue_checked(config: MachineConfig) -> None:
+    from repro.apps.workqueue import run_workqueue
+    run_workqueue(config, total_items=4 * config.num_procs,
+                  lock_kind="MCS")
+
+
+def dynamic_cases(procs: int
+                  ) -> List[Tuple[str, Callable[[MachineConfig], None]]]:
+    cases: List[Tuple[str, Callable[[MachineConfig], None]]] = [
+        ("mp", run_mp),
+        ("handshake", run_handshake),
+    ]
+    for kind in ALL_LOCK_KINDS:
+        cases.append((f"lock-{kind}",
+                      lambda cfg, k=kind: run_lock_counter(cfg, k)))
+    for kind in BARRIER_KINDS:
+        cases.append((f"barrier-{kind}",
+                      lambda cfg, k=kind: run_barrier_phases(cfg, k)))
+    cases.append(("histogram", run_histogram_checked))
+    cases.append(("workqueue", run_workqueue_checked))
+    return cases
+
+
+# ----------------------------------------------------------------------
+# static lint section
+# ----------------------------------------------------------------------
+
+def run_lint_suite(procs: int, out=sys.stdout, quiet: bool = False) -> int:
+    """Record the op streams of the litmus programs and lint them.
+
+    The machine is built only so the sync library allocates and
+    registers its words; it never runs.
+    """
+    failures = 0
+    config = MachineConfig(num_procs=procs, protocol=Protocol.WI)
+
+    def lint_one(name: str, build) -> None:
+        nonlocal failures
+        machine = Machine(config)
+        programs = build(machine)
+        report = run_lint(machine.memmap, programs)
+        if report.clean:
+            if not quiet:
+                print(f"  lint {name:<24} clean", file=out)
+        else:
+            failures += 1
+            print(f"  lint {name:<24} "
+                  f"{len(report.violations)} violation(s)", file=out)
+            for v in report.violations:
+                print(f"    {v}", file=out)
+
+    def lock_streams(kind: str):
+        def build(machine):
+            lock = make_lock(kind, machine, home=0)
+            counter = machine.memmap.alloc_word(0, "counter")
+
+            def program(node: int):
+                for _ in range(LOCK_ROUNDS):
+                    token = yield from lock.acquire(node)
+                    value = yield Read(counter)
+                    yield Write(counter, value + 1)
+                    yield from lock.release(node, token)
+                yield Fence()
+
+            return [(n, program(n)) for n in range(procs)]
+        return build
+
+    def barrier_streams(kind: str):
+        def build(machine):
+            bar = make_barrier(kind, machine)
+            mm = machine.memmap
+            slots = [mm.alloc_word(n, f"phase.slot{n}")
+                     for n in range(procs)]
+
+            def program(node: int):
+                for phase in range(1, BARRIER_PHASES + 1):
+                    yield Write(slots[node], phase)
+                    yield Fence()
+                    yield from bar.wait(node)
+                    yield Read(slots[(node - 1) % procs])
+                    yield Fence()
+                    yield from bar.wait(node)
+
+            return [(n, program(n)) for n in range(procs)]
+        return build
+
+    for kind in ALL_LOCK_KINDS:
+        lint_one(f"lock-{kind}", lock_streams(kind))
+    for kind in BARRIER_KINDS:
+        lint_one(f"barrier-{kind}", barrier_streams(kind))
+    return failures
+
+
+# ----------------------------------------------------------------------
+# driver
+# ----------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-experiments check",
+        description="Run the coherence sanitizer, race detector and "
+                    "lint pass over the litmus + application suite.")
+    p.add_argument("--procs", type=int, default=4,
+                   help="machine size for the dynamic suite (default 4)")
+    p.add_argument("--lint-only", action="store_true",
+                   help="only run the static lint section")
+    p.add_argument("--quiet", action="store_true",
+                   help="only print failures and the summary line")
+    return p
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.procs < 2:
+        parser.error("--procs must be at least 2 (the litmus programs "
+                     "need a producer and a consumer)")
+    out = sys.stdout
+    failures = 0
+    ran = 0
+
+    if not args.lint_only:
+        cases = dynamic_cases(args.procs)
+        for proto in ALL_PROTOCOLS:
+            for name, case in cases:
+                ran += 1
+                label = f"{name} [{proto.short}]"
+                try:
+                    case(checked_config(proto, args.procs))
+                except CheckerError as exc:
+                    failures += 1
+                    print(f"  FAIL {label}", file=out)
+                    print("    " + str(exc).replace("\n", "\n    "),
+                          file=out)
+                except AssertionError as exc:
+                    failures += 1
+                    print(f"  FAIL {label}: {exc}", file=out)
+                else:
+                    if not args.quiet:
+                        print(f"  ok   {label}", file=out)
+
+    failures += run_lint_suite(args.procs, out=out, quiet=args.quiet)
+
+    verdict = "clean" if failures == 0 else f"{failures} FAILURE(S)"
+    print(f"check: {ran} dynamic case(s), lint pass: {verdict}",
+          file=out)
+    return 0 if failures == 0 else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

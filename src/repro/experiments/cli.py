@@ -49,10 +49,20 @@ def build_parser() -> argparse.ArgumentParser:
                    help="suppress progress lines")
     p.add_argument("--svg", metavar="DIR", default=None,
                    help="also write each figure as DIR/figN.svg")
+    p.add_argument("--sanitize", action="store_true",
+                   help="run every figure machine with the coherence "
+                        "sanitizer and race detector enabled (strict)")
     return p
 
 
 def main(argv: List[str] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "check":
+        # checker subcommand: run the sanitizer / race-detector / lint
+        # suite instead of regenerating figures
+        from repro.experiments.check import main as check_main
+        return check_main(argv[1:])
     args = build_parser().parse_args(argv)
 
     wanted = args.figures
@@ -76,9 +86,10 @@ def main(argv: List[str] = None) -> int:
         t0 = time.time()
         if fig in ("fig8", "fig11", "fig14"):
             data = runner(scale=scale, sizes=args.sizes,
-                          progress=progress)
+                          progress=progress, sanitize=args.sanitize)
         else:
-            data = runner(scale=scale, P=args.procs, progress=progress)
+            data = runner(scale=scale, P=args.procs, progress=progress,
+                          sanitize=args.sanitize)
         print()
         print(data.render())
         if args.svg:

@@ -63,9 +63,16 @@ def _miss_counts(result) -> Dict[str, int]:
 # locks (figures 8, 9, 10)
 # ----------------------------------------------------------------------
 
+def _checked_config(protocol: Protocol, P: int,
+                    sanitize: bool) -> MachineConfig:
+    return MachineConfig(num_procs=P, protocol=protocol,
+                         enable_sanitizer=sanitize,
+                         enable_race_detector=sanitize)
+
+
 def _lock_run(protocol: Protocol, kind: str, P: int,
-              scale: ExperimentScale, **kw):
-    cfg = MachineConfig(num_procs=P, protocol=protocol)
+              scale: ExperimentScale, sanitize: bool = False, **kw):
+    cfg = _checked_config(protocol, P, sanitize)
     return run_lock_workload(cfg, kind,
                              total_acquires=scale.lock_total_acquires,
                              **kw)
@@ -129,8 +136,8 @@ def fig10_lock_updates(scale: ExperimentScale = ExperimentScale.paper(),
 # ----------------------------------------------------------------------
 
 def _barrier_run(protocol: Protocol, kind: str, P: int,
-                 scale: ExperimentScale, **kw):
-    cfg = MachineConfig(num_procs=P, protocol=protocol)
+                 scale: ExperimentScale, sanitize: bool = False, **kw):
+    cfg = _checked_config(protocol, P, sanitize)
     return run_barrier_workload(cfg, kind,
                                 episodes=scale.barrier_episodes, **kw)
 
@@ -193,8 +200,8 @@ def fig13_barrier_updates(scale: ExperimentScale = ExperimentScale.paper(),
 # ----------------------------------------------------------------------
 
 def _reduction_run(protocol: Protocol, kind: str, P: int,
-                   scale: ExperimentScale, **kw):
-    cfg = MachineConfig(num_procs=P, protocol=protocol)
+                   scale: ExperimentScale, sanitize: bool = False, **kw):
+    cfg = _checked_config(protocol, P, sanitize)
     return run_reduction_workload(cfg, kind,
                                   iterations=scale.reduction_iters, **kw)
 

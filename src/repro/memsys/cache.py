@@ -103,6 +103,19 @@ class Cache:
                 return line
         return None
 
+    def peek(self, block: int) -> Optional[CacheLine]:
+        """The line holding ``block``, or None -- WITHOUT touching LRU.
+
+        For observers (the coherence sanitizer, invariant checks): a
+        peek must never perturb replacement order.
+        """
+        for line in self._sets[self.index_of(block)]:
+            if line.block == block:
+                if line.state is CacheState.INVALID:
+                    return None
+                return line
+        return None
+
     def contains(self, block: int) -> bool:
         return self.lookup(block) is not None
 

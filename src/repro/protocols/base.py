@@ -71,6 +71,9 @@ class NodeCtrl:
         self.miss_cls = machine.miss_classifier
         self.upd_cls = machine.update_classifier
         self.tracer = machine.tracer
+        #: coherence sanitizer, or None when checking is off (cached so
+        #: the hot paths pay one attribute test per hook)
+        self.san = getattr(machine, "sanitizer", None)
 
         #: invalidation/update acks not yet collected (release consistency)
         self.outstanding_acks = 0
@@ -174,6 +177,13 @@ class NodeCtrl:
 
         hit, value = self.local_view(block, word)
         if hit:
+            if self.san is not None and not self.wb.writes_to(word):
+                # nothing of ours is buffered: the value read is a
+                # coherent copy and must come from the golden history
+                line = self.cache.peek(block)
+                self.san.check_read(
+                    self.node, block, word, value,
+                    state=line.state.value if line is not None else "")
             self.sim.schedule(1, cb, value)
             return
 
@@ -194,6 +204,10 @@ class NodeCtrl:
                 f"node {self.node}: unexpected fill for blk {msg.block}")
         self._pending_fill = None
         data = msg.data or {}
+        if self.san is not None:
+            self.san.check_read(self.node, msg.block, pend.word,
+                                data.get(pend.word, 0),
+                                state=state.value)
         evicted = self.cache.install(msg.block, state, data, msg.seq)
         if evicted is not None:
             self._evict(evicted.block, evicted.state, evicted.data,
@@ -211,6 +225,12 @@ class NodeCtrl:
         if pend.inv_seq is not None and pend.inv_seq >= msg.seq:
             # an invalidation overtook the fill: consume the value once,
             # then drop the block
+            if self.san is not None:
+                self.san.event(
+                    "inv-overtook-fill",
+                    f"invalidation (seq {pend.inv_seq}) arrived before "
+                    f"the fill (seq {msg.seq}); value consumed once, "
+                    f"block dropped", node=self.node, block=msg.block)
             self.cache.invalidate(msg.block)
         pend.cb(value)
 
@@ -224,6 +244,8 @@ class NodeCtrl:
         word = cfg.word_of(addr)
         block = cfg.block_of(addr)
         self._ref(block, word)
+        if self.san is not None:
+            self.san.check_release_store(self, word, value)
         pw = PendingWrite(addr, word, block, value, mask)
         if self.wb.full:
             self.wb.on_space(lambda: self._enqueue_write(pw, cb))
@@ -270,6 +292,10 @@ class NodeCtrl:
 
     def fence(self, cb: Callable[[], None]) -> None:
         """Release point: write buffer drained + all acks collected."""
+        if self.san is not None:
+            # re-verify completion at fire time, independently of
+            # _fence_ok (catches a broken fence implementation)
+            cb = self.san.wrap_fence(self, cb)
         if self._fence_ok():
             self.sim.schedule(1, cb)
         else:

@@ -82,6 +82,8 @@ class PUNodeCtrl(NodeCtrl):
             # effectively private: keep the write local
             merged = merge_word(line.data.get(pw.word, 0), pw.value,
                                 pw.mask)
+            if self.san is not None:
+                self.san.record_value(pw.word, merged)
             self.cache.write_word(pw.block, pw.word, merged)
             line.dirty_words[pw.word] = merged
             self.miss_cls.record_write(pw.block, pw.word, self.node)
@@ -89,6 +91,8 @@ class PUNodeCtrl(NodeCtrl):
             return
         # write-through updates our own copy immediately
         merged = merge_word(line.data.get(pw.word, 0), pw.value, pw.mask)
+        if self.san is not None:
+            self.san.record_value(pw.word, merged)
         self.cache.write_word(pw.block, pw.word, merged)
         self._send(MsgType.UPDATE, self.home_of(pw.block), pw.block,
                    word=pw.word, value=pw.value, mask=pw.mask,
@@ -106,6 +110,8 @@ class PUNodeCtrl(NodeCtrl):
             line = self.cache.lookup(msg.block)
             if line is not None:
                 line.state = CacheState.RETAINED
+                if self.san is not None:
+                    self.san.on_exclusive(self.node, msg.block)
             else:
                 # we lost the copy before the grant arrived: cancel it
                 self._send(MsgType.DROP_NOTICE, self.home_of(msg.block),
@@ -129,7 +135,18 @@ class PUNodeCtrl(NodeCtrl):
         if self._drop_check(line, msg):
             self._send(MsgType.UPD_ACK, msg.requester, msg.block)
             return
-        self.cache.write_word(msg.block, msg.word, msg.value)
+        if self.san is not None:
+            self.san.check_update(self.node, msg.block, msg.word,
+                                  msg.value)
+        # Merge under the writer's mask rather than overwriting: the
+        # propagated value is the home's merge at *serialization* time,
+        # so bytes outside the mask may predate a store this node has
+        # already applied locally (and not yet written through).  A
+        # full-word overwrite here loses that store if the copy is
+        # later retained as the dirty owner.
+        merged = merge_word(line.data.get(msg.word, 0), msg.value,
+                            msg.mask)
+        self.cache.write_word(msg.block, msg.word, merged)
         self.upd_cls.record_update(self.node, msg.block, msg.word)
         self._send(MsgType.UPD_ACK, msg.requester, msg.block)
 
@@ -157,6 +174,8 @@ class PUNodeCtrl(NodeCtrl):
             line = self.cache.lookup(pw.block)
             merged = merge_word(line.data.get(pw.word, 0), pw.value,
                                 pw.mask)
+            if self.san is not None:
+                self.san.record_value(pw.word, merged)
             self.cache.write_word(pw.block, pw.word, merged)
             self._send(MsgType.UPDATE, self.home_of(pw.block), pw.block,
                        word=pw.word, value=pw.value, mask=pw.mask,
@@ -264,13 +283,16 @@ class PUNodeCtrl(NodeCtrl):
         def finish() -> None:
             merged = merge_word(self.mem.read_word(msg.word), msg.value,
                                 msg.mask)
+            if self.san is not None:
+                self.san.record_value(msg.word, merged)
             self.mem.write_word(msg.word, merged)
             self.miss_cls.record_write(msg.block, msg.word, msg.src)
             receivers = sorted(ent.sharers - {msg.src})
             if receivers:
                 issue_done = self._issue_props(msg.block, msg.word,
                                                merged, msg.src,
-                                               receivers)
+                                               receivers,
+                                               mask=msg.mask)
                 def ack() -> None:
                     self._send(MsgType.WRITER_ACK, msg.src, msg.block,
                                nacks=len(receivers),
@@ -303,6 +325,8 @@ class PUNodeCtrl(NodeCtrl):
         def finish() -> None:
             old = self.mem.read_word(msg.word)
             new, result = apply_atomic(msg.op, old, msg.operand)
+            if self.san is not None:
+                self.san.record_value(msg.word, new)
             self.mem.write_word(msg.word, new)
             self.miss_cls.record_write(msg.block, msg.word, msg.requester)
             receivers = sorted(ent.sharers - {msg.requester})
@@ -318,17 +342,21 @@ class PUNodeCtrl(NodeCtrl):
         self.sim.at(t, finish)
 
     def _issue_props(self, block: int, word: int, value, writer: int,
-                     receivers) -> int:
+                     receivers, mask=None) -> int:
         """Issue one update propagation per sharer at the directory
         controller's iteration rate; returns the absolute completion
-        time of the issue loop."""
+        time of the issue loop.  ``mask`` is the originating store's
+        byte mask (``None`` for full-word stores and atomics): the
+        receivers only apply the masked bytes, so a propagation cannot
+        clobber a disjoint sub-word store they applied locally after
+        this one serialized."""
         c = self.config.prop_issue_cycles
         for k, s in enumerate(receivers):
             self.sim.schedule(
                 k * c,
                 lambda s=s: self._send(MsgType.UPD_PROP, s, block,
                                        word=word, value=value,
-                                       requester=writer))
+                                       mask=mask, requester=writer))
         return self.sim.now + len(receivers) * c
 
     def _home_recall_reply(self, msg: Message) -> None:

@@ -69,6 +69,8 @@ class WINodeCtrl(NodeCtrl):
     def _apply_store(self, line, pw) -> None:
         """Apply a (possibly sub-word) store to an exclusive copy."""
         merged = merge_word(line.data.get(pw.word, 0), pw.value, pw.mask)
+        if self.san is not None:
+            self.san.record_value(pw.word, merged)
         self.cache.write_word(pw.block, pw.word, merged)
         self.miss_cls.record_write(pw.block, pw.word, self.node)
 
@@ -104,6 +106,8 @@ class WINodeCtrl(NodeCtrl):
             return
         line.state = CacheState.MODIFIED
         line.seq = msg.seq
+        if self.san is not None:
+            self.san.on_exclusive(self.node, msg.block)
         self._apply_store(line, pw)
         self.outstanding_acks += msg.nacks
         self._retire_done()
@@ -119,6 +123,8 @@ class WINodeCtrl(NodeCtrl):
         if evicted is not None:
             self._evict(evicted.block, evicted.state, evicted.data,
                         EvictReason.REPLACEMENT)
+        if self.san is not None:
+            self.san.on_exclusive(self.node, msg.block)
         self._apply_store(self.cache.lookup(msg.block), pw)
         self.outstanding_acks += msg.nacks
         self._retire_done()
@@ -141,6 +147,8 @@ class WINodeCtrl(NodeCtrl):
         if line is not None and line.state is CacheState.MODIFIED:
             old = line.data.get(word, 0)
             new, result = apply_atomic(opname, old, operand)
+            if self.san is not None:
+                self.san.record_value(word, new)
             self.cache.write_word(block, word, new)
             self.miss_cls.record_write(block, word, self.node)
             self.sim.schedule(1, cb, result)
@@ -177,8 +185,12 @@ class WINodeCtrl(NodeCtrl):
             line.state = CacheState.MODIFIED
             line.seq = msg.seq
         self._pending_atomic = None
+        if self.san is not None:
+            self.san.on_exclusive(self.node, msg.block)
         old = self.cache.read_word(msg.block, pa["word"])
         new, result = apply_atomic(pa["opname"], old, pa["operand"])
+        if self.san is not None:
+            self.san.record_value(pa["word"], new)
         self.cache.write_word(msg.block, pa["word"], new)
         self.miss_cls.record_write(msg.block, pa["word"], self.node)
         self.outstanding_acks += msg.nacks
@@ -193,6 +205,16 @@ class WINodeCtrl(NodeCtrl):
         if line is not None and line.seq <= msg.seq:
             self.upd_cls.record_block_gone(self.node, msg.block)
             self.cache.invalidate(msg.block)
+        elif line is not None:
+            # install seq newer than the invalidation: the INV targeted
+            # a copy we no longer hold (defensive guard, promoted from a
+            # silent drop to a sanitizer event)
+            if self.san is not None:
+                self.san.event(
+                    "stale-inv-ignored",
+                    f"invalidation (seq {msg.seq}) older than the "
+                    f"installed copy (seq {line.seq}); ignored",
+                    node=self.node, block=msg.block)
         elif (self._pending_fill is not None
               and self._pending_fill.block == msg.block):
             prev = self._pending_fill.inv_seq

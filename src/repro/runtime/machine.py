@@ -28,7 +28,7 @@ from typing import Any, Dict, List, Optional
 
 from repro.classify import MissClassifier, UpdateClassifier
 from repro.config import MachineConfig
-from repro.engine import DeadlockError, NullTracer, Simulator
+from repro.engine import DeadlockError, NullTracer, Simulator, StuckThread
 from repro.network import Network, NetworkStats
 from repro.runtime.memory_map import MemoryMap
 from repro.runtime.processor import Processor, ThreadProgram
@@ -72,6 +72,22 @@ class Machine:
         self.update_classifier = UpdateClassifier()
         self.net = Network(self.sim, config)
         self.memmap = MemoryMap(config)
+        # checkers must exist before the controllers, which cache a
+        # reference to the sanitizer at construction time
+        self.checker_report = None
+        self.sanitizer = None
+        self.race_detector = None
+        if config.enable_sanitizer or config.enable_race_detector:
+            from repro.checkers import (
+                CheckerReport, CoherenceSanitizer, RaceDetector,
+            )
+            self.checker_report = CheckerReport()
+            if config.enable_sanitizer:
+                self.sanitizer = CoherenceSanitizer(self,
+                                                    self.checker_report)
+            if config.enable_race_detector:
+                self.race_detector = RaceDetector(config, self.memmap,
+                                                  self.checker_report)
         self.controllers = [make_controller(self, n)
                             for n in range(config.num_procs)]
         self.processors: List[Processor] = []
@@ -101,6 +117,8 @@ class Machine:
         completes.
         """
         child = self.spawn(node, program)
+        if self.race_detector is not None:
+            self.race_detector.on_fork(parent.node, node)
 
         def start() -> None:
             child.start()
@@ -140,10 +158,20 @@ class Machine:
 
         stuck = [p for p in self.processors if not p.done]
         if stuck and until is None:
-            details = ", ".join(
-                f"node {p.node} at {p._current_op!r}" for p in stuck)
+            attribution = [StuckThread(p.node, repr(p._current_op))
+                           for p in stuck]
+            details = ", ".join(str(s) for s in attribution)
             raise DeadlockError(
-                f"{len(stuck)} thread(s) never finished: {details}")
+                f"{len(stuck)} thread(s) never finished: {details}",
+                stuck=attribution)
+
+        if self.sanitizer is not None and until is None:
+            self.sanitizer.finalize()
+        if (self.checker_report is not None
+                and not self.checker_report.clean
+                and self.config.checkers_strict):
+            from repro.checkers import CheckerError
+            raise CheckerError(self.checker_report)
 
         self.miss_classifier.finalize()
         self.update_classifier.finalize()

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import contextlib
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.config import MachineConfig, Protocol
 
@@ -48,6 +48,34 @@ class MemoryMap:
         #: block -> managing protocol, for HYBRID machines
         self.block_policy: Dict[int, Protocol] = {}
         self._current_protocol: Optional[Protocol] = None
+        #: words used as synchronization objects (lock/barrier state);
+        #: the race detector exempts them from the data-race check
+        self.sync_words: Set[int] = set()
+        #: release words: a store here is a lock handoff and must find
+        #: the storing node quiescent (fenced).  Maps word -> optional
+        #: predicate over the stored value selecting which stores are
+        #: releases (e.g. MCS ``locked`` words release only on 0).
+        self.release_words: Dict[int, Optional[Callable[[int], bool]]] = {}
+
+    # ------------------------------------------------------------------
+    # synchronization-word registry (checkers)
+    # ------------------------------------------------------------------
+
+    def mark_sync(self, addr: int) -> None:
+        """Register ``addr``'s word as a synchronization object."""
+        self.sync_words.add(self.config.word_of(addr))
+
+    def mark_release(self, addr: int,
+                     predicate: Optional[Callable[[int], bool]] = None
+                     ) -> None:
+        """Register ``addr``'s word as a release (lock-handoff) word.
+
+        ``predicate`` selects which stored values constitute a release;
+        ``None`` means every store does.  Implies :meth:`mark_sync`.
+        """
+        word = self.config.word_of(addr)
+        self.sync_words.add(word)
+        self.release_words[word] = predicate
 
     # ------------------------------------------------------------------
     # per-allocation protocol tagging (HYBRID machines)

@@ -31,7 +31,7 @@ class Processor:
 
     __slots__ = ("sim", "node", "ctrl", "machine", "_gen", "done",
                  "done_time", "instructions", "spin_wakeups", "started",
-                 "failure", "_current_op", "_done_callbacks")
+                 "failure", "_current_op", "_done_callbacks", "_race")
 
     def __init__(self, sim, node: int, ctrl, program: ThreadProgram,
                  machine=None) -> None:
@@ -40,6 +40,9 @@ class Processor:
         self.ctrl = ctrl
         #: back-reference for dynamic thread creation (Fork)
         self.machine = machine
+        #: happens-before race detector, or None (cached: one attribute
+        #: test per dispatched op)
+        self._race = getattr(machine, "race_detector", None)
         self._gen = program
         self.done = False
         self.done_time: Optional[int] = None
@@ -92,18 +95,38 @@ class Processor:
 
     def _dispatch(self, op: Op) -> None:
         cls = op.__class__
+        race = self._race
         if cls is Read:
+            if race is not None:
+                race.on_read(self.node, op.addr)
             self.ctrl.read(op.addr, self._resume)
         elif cls is Write:
+            if race is not None:
+                race.on_write(self.node, op.addr, op.value, op.mask)
             self.ctrl.write(op.addr, op.value, self._resume,
                             mask=op.mask)
         elif cls is Compute:
             self.sim.schedule(op.cycles, self._resume, None)
         elif cls is SpinUntil:
+            if race is not None:
+                race.on_spin_start(self.node, op.addr)
             self._spin(op.addr, op.predicate)
         elif isinstance(op, _AtomicOp):
-            self.ctrl.atomic(op.opname, op.addr, op.operand, self._resume)
+            if race is not None:
+                addr = op.addr
+                race.on_atomic_issue(self.node, addr)
+
+                def atomic_done(result) -> None:
+                    race.on_atomic_complete(self.node, addr)
+                    self._resume(result)
+
+                self.ctrl.atomic(op.opname, addr, op.operand, atomic_done)
+            else:
+                self.ctrl.atomic(op.opname, op.addr, op.operand,
+                                 self._resume)
         elif cls is Fence:
+            if race is not None:
+                race.on_fence(self.node)
             self.ctrl.fence(lambda: self._resume(None))
         elif cls is CallHook:
             op.fn(self, self._resume)
@@ -113,7 +136,16 @@ class Processor:
                                    "processor")
             self.machine.fork(self, op.node, op.program, self._resume)
         elif cls is Join:
-            op.handle.on_done(lambda: self._resume(None))
+            if race is not None:
+                handle = op.handle
+
+                def joined() -> None:
+                    race.on_join(self.node, handle.node)
+                    self._resume(None)
+
+                handle.on_done(joined)
+            else:
+                op.handle.on_done(lambda: self._resume(None))
         elif cls is Flush:
             self.ctrl.flush_block(op.addr, lambda: self._resume(None))
         elif cls is FlushCache:
@@ -144,6 +176,9 @@ class Processor:
             if hit:
                 value = fresh
             if pred(value):
+                if self._race is not None:
+                    # a successful spin is an acquire on the word
+                    self._race.on_spin_success(self.node, word)
                 self._resume(value)
                 return
             if ctrl.cache.contains(block):

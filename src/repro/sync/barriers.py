@@ -53,6 +53,10 @@ class CentralBarrier(Barrier):
             self.sense = mm.alloc_word(home, f"{label}.sense")
         mm.set_initial(self.count, self.P)
         mm.set_initial(self.sense, 1)        # shared sense := true
+        # sync words only -- barrier arrival stores are NOT release
+        # points (data-carrying programs must fence before wait())
+        mm.mark_sync(self.count)
+        mm.mark_sync(self.sense)
         self._local_sense = [1] * self.P     # private local_sense := true
 
     def wait(self, node: int) -> Generator:
@@ -107,6 +111,9 @@ class DisseminationBarrier(Barrier):
                     for r in range(2)
                 ]
             self.flags.append(per_node)
+            for r in range(2):
+                for addr in per_node[r]:
+                    mm.mark_sync(addr)
         self._parity = [0] * self.P
         self._sense = [1] * self.P
 
@@ -158,7 +165,9 @@ class TreeBarrier(Barrier):
             # initially childnotready = havechild
             if word:
                 mm.set_initial(addr, word)
+            mm.mark_sync(addr)
         self.globalsense = mm.alloc_word(home, f"{label}.globalsense")
+        mm.mark_sync(self.globalsense)
         # on every processor, sense is initially true; globalsense false
         self._sense = [1] * self.P
         self.dummy = mm.alloc_word(home, f"{label}.dummy")

@@ -35,10 +35,17 @@ class IdealLock:
                  release_cycles: int = IDEAL_LOCK_RELEASE_CYCLES) -> None:
         self.acquire_cycles = acquire_cycles
         self.release_cycles = release_cycles
+        self._race = getattr(machine, "race_detector", None)
         self._held = False
         self._queue: Deque = deque()
         #: acquisition order, for fairness assertions in tests
         self.grant_log: List[int] = []
+
+    def _grant(self, node: int) -> None:
+        self.grant_log.append(node)
+        if self._race is not None:
+            # happens-before edge from the last release to this grant
+            self._race.ideal_acquire(node, id(self))
 
     def acquire(self, node: int) -> Generator:
         yield Compute(self.acquire_cycles)
@@ -46,7 +53,7 @@ class IdealLock:
         def hook(proc, resume):
             if not self._held:
                 self._held = True
-                self.grant_log.append(proc.node)
+                self._grant(proc.node)
                 resume(None)
             else:
                 self._queue.append((proc, resume))
@@ -64,9 +71,11 @@ class IdealLock:
         def hook(proc, resume):
             if not self._held:
                 raise RuntimeError("release of an unheld ideal lock")
+            if self._race is not None:
+                self._race.ideal_release(proc.node, id(self))
             if self._queue:
                 nxt_proc, nxt_resume = self._queue.popleft()
-                self.grant_log.append(nxt_proc.node)
+                self._grant(nxt_proc.node)
                 proc.sim.schedule(0, nxt_resume, None)
             else:
                 self._held = False
@@ -84,6 +93,7 @@ class IdealBarrier:
                  latency: int = IDEAL_BARRIER_CYCLES) -> None:
         self.participants = participants or machine.config.num_procs
         self.latency = latency
+        self._race = getattr(machine, "race_detector", None)
         self._waiting: List = []
         self.episodes = 0
 
@@ -94,11 +104,14 @@ class IdealBarrier:
         yield Compute(self.latency)
 
         def hook(proc, resume):
-            self._waiting.append(resume)
+            self._waiting.append((proc.node, resume))
             if len(self._waiting) == self.participants:
                 self.episodes += 1
                 waiters, self._waiting = self._waiting, []
-                for w in waiters:
+                if self._race is not None:
+                    # all-to-all happens-before edges for the episode
+                    self._race.ideal_barrier([n for n, _ in waiters])
+                for _, w in waiters:
                     proc.sim.schedule(0, w, None)
             elif len(self._waiting) > self.participants:
                 raise RuntimeError("too many threads at ideal barrier")

@@ -65,6 +65,10 @@ class TicketLock(SpinLock):
         else:
             self.next_ticket = mm.alloc_word(home, f"{label}.next_ticket")
             self.now_serving = mm.alloc_word(home, f"{label}.now_serving")
+        # checker registry: ticket counters are sync words; a store to
+        # now_serving is the lock handoff
+        mm.mark_sync(self.next_ticket)
+        mm.mark_release(self.now_serving)
 
     def acquire(self, node: int) -> Generator:
         my_ticket = yield FetchAdd(self.next_ticket, 1)
@@ -102,11 +106,16 @@ class MCSLock(SpinLock):
         self.tail = mm.alloc_word(home, f"{label}.tail")  # 0 == nil
         self.qnode_next = []
         self.qnode_locked = []
+        mm.mark_sync(self.tail)
         for i in range(P):
             fields = mm.alloc_struct(i, ["next", "locked"],
                                      label=f"{label}.qnode{i}")
             self.qnode_next.append(fields["next"])
             self.qnode_locked.append(fields["locked"])
+            mm.mark_sync(fields["next"])
+            # only the 0-store (handoff to the spinning successor) is a
+            # release; the acquirer's own `locked := 1` is not
+            mm.mark_release(fields["locked"], predicate=lambda v: v == 0)
 
     @staticmethod
     def _ptr(node: int) -> int:
@@ -169,6 +178,10 @@ class TestAndSetLock(SpinLock):
     def __init__(self, machine, home: int = 0, min_backoff: int = 8,
                  max_backoff: int = 1024, label: str = "tas") -> None:
         self.word = machine.memmap.alloc_word(home, f"{label}.lock")
+        # only the 0-store (unlock) is a release; FetchStore(word, 1)
+        # retries are not
+        machine.memmap.mark_release(self.word,
+                                    predicate=lambda v: v == 0)
         self.min_backoff = min_backoff
         self.max_backoff = max_backoff
 

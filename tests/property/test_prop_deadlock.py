@@ -1,0 +1,62 @@
+"""Property: a deadlocked run attributes the blocked thread(s).
+
+When the event queue drains with unfinished threads, the
+:class:`~repro.engine.DeadlockError` must carry a structured
+``stuck`` list naming each blocked node and the repr of the operation
+it was blocked on -- whatever subset of threads we wedge, under any
+protocol."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.config import MachineConfig, Protocol
+from repro.engine import DeadlockError, StuckThread
+from repro.isa.ops import Compute, Read, SpinUntil, Write
+from repro.runtime import Machine
+
+import pytest
+
+PROTOCOLS = [Protocol.WI, Protocol.PU, Protocol.CU]
+
+cases = st.tuples(
+    st.integers(min_value=2, max_value=6),            # machine size
+    st.sets(st.integers(min_value=0, max_value=5),
+            min_size=1),                              # wedged nodes
+    st.sampled_from(PROTOCOLS),
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(cases)
+def test_deadlock_attributes_stuck_threads(case):
+    nprocs, wedged, protocol = case
+    wedged = {n for n in wedged if n < nprocs}
+    if not wedged:
+        wedged = {0}
+    cfg = MachineConfig(num_procs=nprocs, protocol=protocol)
+    machine = Machine(cfg)
+    never = machine.memmap.alloc_word(0, "never")     # nobody stores 1
+
+    def spinner(node):
+        yield Compute(node + 1)
+        yield SpinUntil(never, lambda v: v == 1)
+
+    def worker(node):
+        scratch = machine.memmap.alloc_word(node, f"scratch{node}")
+        yield Write(scratch, node)
+        yield Read(scratch)
+
+    for n in range(nprocs):
+        machine.spawn(n, spinner(n) if n in wedged else worker(n))
+
+    with pytest.raises(DeadlockError) as exc_info:
+        machine.run()
+
+    stuck = exc_info.value.stuck
+    assert isinstance(stuck, list)
+    assert all(isinstance(s, StuckThread) for s in stuck)
+    # exactly the wedged nodes, each blocked on its spin
+    assert sorted(s.node for s in stuck) == sorted(wedged)
+    for s in stuck:
+        assert "SpinUntil" in s.op
+        # the node and op also appear in the rendered message
+        assert str(s) in str(exc_info.value)

@@ -1,0 +1,346 @@
+"""Unit tests for the checker subsystem: race-detector vector-clock
+semantics, lint rules over recorded op streams, the promoted
+sequence-number install guards, and the sanitizer's non-perturbing
+cache observer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.checkers import (
+    CheckerReport, RaceDetector, record_streams, run_lint,
+)
+from repro.config import MachineConfig, Protocol
+from repro.isa.ops import (
+    Fence, FetchAdd, Flush, Read, SpinUntil, Write,
+)
+from repro.memsys.cache import Cache, CacheState
+from repro.network.messages import Message, MsgType
+from repro.runtime import Machine
+from repro.runtime.memory_map import MemoryMap
+from repro.sync.locks import TicketLock
+
+
+# ----------------------------------------------------------------------
+# race detector: vector-clock semantics (driven directly, no machine)
+# ----------------------------------------------------------------------
+
+def _detector(procs: int = 2):
+    cfg = MachineConfig(num_procs=procs)
+    mm = MemoryMap(cfg)
+    report = CheckerReport()
+    return RaceDetector(cfg, mm, report), mm, report
+
+
+DATA, FLAG = 0x0, 0x40          # separate blocks
+
+
+def test_race_fenced_message_passing_is_clean():
+    det, mm, report = _detector()
+    mm.mark_sync(FLAG)
+    det.on_write(0, DATA)
+    det.on_fence(0)             # publish the data write
+    det.on_write(0, FLAG)       # flag store carries the fenced clock
+    det.on_read(1, FLAG)        # acquire
+    det.on_read(1, DATA)
+    assert report.clean, report.render()
+
+
+def test_race_unfenced_message_passing_is_flagged():
+    det, mm, report = _detector()
+    mm.mark_sync(FLAG)
+    det.on_write(0, DATA)
+    det.on_write(0, FLAG)       # no fence: publishes stale knowledge
+    det.on_read(1, FLAG)
+    det.on_read(1, DATA)
+    races = report.by_rule("data-race")
+    assert len(races) == 1
+    assert races[0].word == DATA
+
+
+def test_race_write_write_conflict_is_flagged():
+    det, _, report = _detector()
+    det.on_write(0, DATA)
+    det.on_write(1, DATA)
+    assert report.by_rule("data-race")
+
+
+def test_race_spin_target_is_whitelisted():
+    det, _, report = _detector()
+    det.on_spin_start(1, FLAG)      # dynamic whitelist
+    det.on_write(0, DATA)
+    det.on_fence(0)
+    det.on_write(0, FLAG)           # racy store to the spin word: benign
+    det.on_spin_success(1, FLAG)    # acquire
+    det.on_read(1, DATA)
+    assert report.clean, report.render()
+
+
+def test_race_atomic_orders_data_handoff():
+    det, _, report = _detector()
+    det.on_write(0, DATA)
+    det.on_atomic(0, FLAG)          # atomics drain the write buffer
+    det.on_atomic(1, FLAG)          # and acquire the published clock
+    det.on_read(1, DATA)
+    assert report.clean, report.render()
+
+
+def test_race_atomic_issue_publishes_before_completion():
+    # serialization can put a later-issued atomic first: the publish
+    # must already be on the word at *issue* time
+    det, _, report = _detector()
+    det.on_write(0, DATA)
+    det.on_atomic_issue(0, FLAG)
+    det.on_atomic_issue(1, FLAG)
+    det.on_atomic_complete(1, FLAG)
+    det.on_atomic_complete(0, FLAG)
+    det.on_read(1, DATA)
+    assert report.clean, report.render()
+
+
+def test_race_fork_join_edges():
+    det, _, report = _detector()
+    det.on_write(0, DATA)
+    det.on_fork(0, 1)               # child inherits parent's knowledge
+    det.on_read(1, DATA)
+    det.on_write(1, DATA)
+    det.on_join(0, 1)               # parent absorbs child's knowledge
+    det.on_read(0, DATA)
+    assert report.clean, report.render()
+
+
+def test_race_without_join_edge_is_flagged():
+    det, _, report = _detector()
+    det.on_write(1, DATA)
+    det.on_read(0, DATA)
+    assert report.by_rule("data-race")
+
+
+def test_race_reports_are_deduplicated():
+    det, _, report = _detector()
+    det.on_write(0, DATA)
+    for _ in range(5):
+        det.on_write(1, DATA)
+        det.on_read(1, DATA)
+    assert len(report.by_rule("data-race")) == 1
+
+
+def test_race_ideal_channel_edges():
+    det, _, report = _detector()
+    det.on_write(0, DATA)
+    det.ideal_release(0, channel=1)
+    det.ideal_acquire(1, channel=1)
+    det.on_read(1, DATA)
+    det.ideal_barrier([0, 1])
+    det.on_write(0, DATA)           # exclusive again after the barrier?
+    assert report.clean, report.render()
+
+
+# ----------------------------------------------------------------------
+# lint rules
+# ----------------------------------------------------------------------
+
+def _lint_machine(procs: int = 2) -> Machine:
+    return Machine(MachineConfig(num_procs=procs, protocol=Protocol.WI))
+
+
+def test_lint_clean_ticket_lock_program():
+    machine = _lint_machine()
+    lock = TicketLock(machine)
+    counter = machine.memmap.alloc_word(0, "counter")
+
+    def program(node):
+        token = yield from lock.acquire(node)
+        value = yield Read(counter)
+        yield Write(counter, value + 1)
+        yield from lock.release(node, token)
+
+    report = run_lint(machine.memmap, [(n, program(n)) for n in (0, 1)])
+    assert report.clean, report.render()
+
+
+def test_lint_missing_release_fence():
+    machine = _lint_machine()
+    lock = TicketLock(machine)
+    counter = machine.memmap.alloc_word(0, "counter")
+
+    def program(node):
+        ticket = yield FetchAdd(lock.next_ticket, 1)
+        yield SpinUntil(lock.now_serving, lambda v, t=ticket: v == t)
+        value = yield Read(counter)
+        yield Write(counter, value + 1)
+        # buggy release: hand the lock over without a Fence
+        now = yield Read(lock.now_serving)
+        yield Write(lock.now_serving, now + 1)
+
+    report = run_lint(machine.memmap, [(n, program(n)) for n in (0, 1)])
+    found = report.by_rule("missing-release-fence")
+    assert found, report.render()
+    assert f"{machine.memmap.config.word_of(counter):#x}" \
+        in found[0].detail
+
+
+def test_lint_write_escapes_release():
+    machine = _lint_machine()
+    lock = TicketLock(machine)
+    counter = machine.memmap.alloc_word(0, "counter")
+
+    def program(node):
+        ticket = yield FetchAdd(lock.next_ticket, 1)
+        yield SpinUntil(lock.now_serving, lambda v, t=ticket: v == t)
+        yield Fence()
+        # buggy: this store is issued after the fence that guards the
+        # handoff, so it is not covered by it
+        yield Write(counter, node)
+        now = yield Read(lock.now_serving)
+        yield Write(lock.now_serving, now + 1)
+
+    report = run_lint(machine.memmap, [(n, program(n)) for n in (0, 1)])
+    assert report.by_rule("write-escapes-release"), report.render()
+    assert not report.by_rule("missing-release-fence")
+
+
+def test_lint_unshared_flush():
+    machine = _lint_machine()
+    mm = machine.memmap
+    private = mm.alloc_word(0, "private")
+    shared = mm.alloc_word(0, "shared")
+
+    def flusher(node):
+        yield Write(private, 1)
+        yield Flush(private)            # nobody else touches this block
+        yield Write(shared, 1)
+
+    def other(node):
+        yield Read(shared)
+
+    report = run_lint(mm, [(0, flusher(0)), (1, other(1))])
+    assert report.by_rule("unshared-flush"), report.render()
+
+
+def test_lint_unshared_flush_skipped_single_node():
+    machine = _lint_machine()
+    private = machine.memmap.alloc_word(0, "private")
+
+    def program(node):
+        yield Write(private, 1)
+        yield Flush(private)
+
+    report = run_lint(machine.memmap, [(0, program(0))])
+    assert report.clean, report.render()
+
+
+def test_lint_spin_never_satisfied():
+    machine = _lint_machine()
+    flag = machine.memmap.alloc_word(0, "flag")
+
+    def spinner(node):
+        yield SpinUntil(flag, lambda v: v == 99)
+
+    def other(node):
+        yield Write(flag, 1)            # never 99
+
+    report = run_lint(machine.memmap, [(0, spinner(0)), (1, other(1))])
+    found = report.by_rule("spin-never-satisfied")
+    assert found and found[0].node == 0
+
+
+def test_record_streams_seeds_initial_values():
+    cfg = MachineConfig(num_procs=1)
+
+    def program(node):
+        value = yield Read(0x0)
+        yield Write(0x40, value)
+
+    events, blocked = record_streams(cfg, [(0, program(0))],
+                                     initial={0x0: 7})
+    assert not blocked
+    assert [e.kind for e in events] == ["read", "write"]
+
+
+# ----------------------------------------------------------------------
+# promoted sequence-number install guards (WI)
+# ----------------------------------------------------------------------
+
+def _wi_machine_with_sanitizer() -> Machine:
+    cfg = MachineConfig(num_procs=2, protocol=Protocol.WI,
+                        enable_sanitizer=True, checkers_strict=False)
+    return Machine(cfg)
+
+
+def test_stale_inv_ignored_reported_as_event():
+    machine = _wi_machine_with_sanitizer()
+    addr = machine.memmap.alloc_word(0, "x")
+    block = machine.config.block_of(addr)
+    ctrl = machine.controllers[1]
+    # a copy installed by a transaction *newer* than the invalidation
+    ctrl.cache.install(block, CacheState.SHARED,
+                       {machine.config.word_of(addr): 1}, seq=9)
+    ctrl._cache_inv(Message(MsgType.INV, src=0, dst=1, block=block,
+                            requester=0, seq=3))
+    events = machine.checker_report.events_of("stale-inv-ignored")
+    assert len(events) == 1 and events[0].node == 1
+    assert ctrl.cache.contains(block)      # the newer copy survives
+    assert machine.checker_report.clean    # events never fail a run
+
+
+def test_inv_overtaking_fill_reported_as_event():
+    machine = _wi_machine_with_sanitizer()
+    addr = machine.memmap.alloc_word(0, "x")
+    cfg = machine.config
+    block, word = cfg.block_of(addr), cfg.word_of(addr)
+    ctrl = machine.controllers[1]
+    got = []
+    ctrl.read(addr, got.append)            # outstanding fill
+    # the invalidation for a later transaction arrives first
+    ctrl._cache_inv(Message(MsgType.INV, src=0, dst=1, block=block,
+                            requester=0, seq=7))
+    ctrl._complete_fill(
+        Message(MsgType.READ_REPLY, src=0, dst=1, block=block,
+                data={word: 0}, seq=5),
+        CacheState.SHARED)
+    assert got == [0]                      # value consumed exactly once
+    assert not ctrl.cache.contains(block)  # ...but the block is dropped
+    events = machine.checker_report.events_of("inv-overtook-fill")
+    assert len(events) == 1 and events[0].block == block
+
+
+# ----------------------------------------------------------------------
+# sanitizer observer plumbing
+# ----------------------------------------------------------------------
+
+def test_cache_peek_does_not_touch_lru():
+    cache = Cache(num_lines=2, block_size=64, associativity=2)
+    cache.install(10, CacheState.SHARED, {})
+    cache.install(20, CacheState.SHARED, {})   # LRU order: 10, 20
+    assert cache.peek(10) is not None          # observer look
+    evicted = cache.install(30, CacheState.SHARED, {})
+    assert evicted is not None and evicted.block == 10
+    # contrast: a lookup() *does* promote to MRU
+    cache2 = Cache(num_lines=2, block_size=64, associativity=2)
+    cache2.install(10, CacheState.SHARED, {})
+    cache2.install(20, CacheState.SHARED, {})
+    cache2.lookup(10)
+    evicted = cache2.install(30, CacheState.SHARED, {})
+    assert evicted is not None and evicted.block == 20
+
+
+def test_sanitizer_flags_unwritten_read_value():
+    machine = _wi_machine_with_sanitizer()
+    addr = machine.memmap.alloc_word(0, "x")
+    cfg = machine.config
+    san = machine.sanitizer
+    san.record_value(cfg.word_of(addr), 5)
+    san.check_read(0, cfg.block_of(addr), cfg.word_of(addr), 5)
+    assert machine.checker_report.clean
+    san.check_read(0, cfg.block_of(addr), cfg.word_of(addr), 12345)
+    found = machine.checker_report.by_rule("read-value")
+    assert found and found[0].word == cfg.word_of(addr)
+
+
+def test_checker_config_flags_default_off():
+    cfg = MachineConfig(num_procs=2)
+    machine = Machine(cfg)
+    assert machine.sanitizer is None
+    assert machine.race_detector is None
+    assert machine.checker_report is None
