@@ -4,15 +4,37 @@ Each benchmark regenerates one of the paper's figures at a reduced
 scale (set REPRO_BENCH_SCALE=1.0 for the paper's full iteration counts)
 and prints the resulting table, so ``pytest benchmarks/
 --benchmark-only`` reproduces the evaluation section end to end.
+
+The figure benchmarks run through the campaign layer: ``run_once``
+hands every figure entry point a shared
+:class:`~repro.campaign.CampaignRunner`, so ``REPRO_BENCH_JOBS=4``
+fans each figure's simulations out over 4 worker processes (tables are
+bit-identical to serial) and ``REPRO_BENCH_CACHE=dir`` reuses results
+across benchmark invocations through the content-addressed cache.
 """
 
+import inspect
 import os
 
 import pytest
 
+from repro.campaign import CampaignRunner, ResultCache
 from repro.config import ExperimentScale
 
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.02"))
+JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+CACHE_DIR = os.environ.get("REPRO_BENCH_CACHE", "")
+
+_RUNNER = None
+
+
+def campaign_runner() -> CampaignRunner:
+    """The process-wide runner shared by every figure benchmark."""
+    global _RUNNER
+    if _RUNNER is None:
+        cache = ResultCache(CACHE_DIR) if CACHE_DIR else None
+        _RUNNER = CampaignRunner(jobs=JOBS, cache=cache)
+    return _RUNNER
 
 
 @pytest.fixture(scope="session")
@@ -28,6 +50,18 @@ def bench_sizes():
 
 
 def run_once(benchmark, fn, *args, **kw):
-    """Run ``fn`` exactly once under the benchmark timer."""
+    """Run ``fn`` exactly once under the benchmark timer.
+
+    Campaign-aware callables (those taking a ``runner`` keyword, i.e.
+    the figure entry points) get the shared runner injected so the
+    whole benchmark suite honours REPRO_BENCH_JOBS / REPRO_BENCH_CACHE.
+    """
+    if "runner" not in kw:
+        try:
+            params = inspect.signature(fn).parameters
+        except (TypeError, ValueError):
+            params = {}
+        if "runner" in params:
+            kw["runner"] = campaign_runner()
     return benchmark.pedantic(fn, args=args, kwargs=kw,
                               rounds=1, iterations=1)

@@ -1,0 +1,40 @@
+"""Spec-driven campaign layer (subsystem S18).
+
+Everything the evaluation section runs -- figures, ablations, the
+checker suite -- is expressed as a list of :class:`RunSpec` values: a
+frozen, canonically-hashable description of one simulation (machine
+config + workload id + parameters + code-version salt).  Specs are
+executed by a :class:`CampaignRunner`, which consults a
+content-addressed on-disk :class:`ResultCache` keyed by the spec hash,
+fans cache misses out over ``multiprocessing`` workers, and returns
+:class:`RunRecord` values in deterministic spec order with per-spec
+failure capture.
+
+Because the simulator itself is deterministic, a parallel campaign is
+bit-identical to a serial one, and a warm cache re-run executes zero
+simulations.  See ``docs/campaigns.md``.
+"""
+
+from repro.campaign.spec import (
+    RunSpec, canonical_json, code_version, config_from_jsonable,
+    config_to_jsonable,
+)
+from repro.campaign.result import (
+    RunRecord, run_result_from_jsonable, run_result_to_jsonable,
+    network_stats_from_jsonable, network_stats_to_jsonable,
+)
+from repro.campaign.cache import ResultCache
+from repro.campaign.runner import (
+    CampaignError, CampaignReport, CampaignRunner, execute_spec,
+)
+from repro.campaign.workloads import register_workload, run_workload
+
+__all__ = [
+    "RunSpec", "canonical_json", "code_version",
+    "config_to_jsonable", "config_from_jsonable",
+    "RunRecord", "run_result_to_jsonable", "run_result_from_jsonable",
+    "network_stats_to_jsonable", "network_stats_from_jsonable",
+    "ResultCache",
+    "CampaignError", "CampaignReport", "CampaignRunner", "execute_spec",
+    "register_workload", "run_workload",
+]

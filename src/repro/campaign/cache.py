@@ -1,0 +1,90 @@
+"""Content-addressed on-disk result cache.
+
+Records live at ``<root>/<key[:2]>/<key>.json`` keyed by the spec hash
+(:attr:`RunSpec.key`), which covers the machine config, workload id,
+parameters, and the code-version salt -- so a cache never serves stale
+results across code changes, and concurrent writers of the same key
+write identical bytes.  Writes are atomic (temp file + ``os.replace``)
+and unreadable entries degrade to cache misses.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Iterator, Optional, Union
+
+from repro.campaign.result import RunRecord
+from repro.campaign.spec import RunSpec
+
+
+class ResultCache:
+    """A directory of ``RunRecord`` JSON files keyed by spec hash."""
+
+    def __init__(self, root: Union[str, os.PathLike]) -> None:
+        self.root = os.fspath(root)
+
+    def _key_of(self, spec_or_key: Union[RunSpec, str]) -> str:
+        if isinstance(spec_or_key, RunSpec):
+            return spec_or_key.key
+        return spec_or_key
+
+    def path_for(self, spec_or_key: Union[RunSpec, str]) -> str:
+        key = self._key_of(spec_or_key)
+        return os.path.join(self.root, key[:2], f"{key}.json")
+
+    # ------------------------------------------------------------------
+
+    def get(self, spec_or_key: Union[RunSpec, str]) -> Optional[RunRecord]:
+        """The cached record, or None on miss / unreadable entry."""
+        path = self.path_for(spec_or_key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+            record = RunRecord.from_jsonable(data)
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+        if record.key != self._key_of(spec_or_key):
+            return None
+        record.cached = True
+        return record
+
+    def put(self, record: RunRecord) -> Optional[str]:
+        """Store ``record``; returns its path (failures are not cached)."""
+        if not record.ok:
+            return None
+        path = self.path_for(record.key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                   suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(record.to_jsonable(), fh, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    # ------------------------------------------------------------------
+
+    def keys(self) -> Iterator[str]:
+        if not os.path.isdir(self.root):
+            return
+        for shard in sorted(os.listdir(self.root)):
+            shard_dir = os.path.join(self.root, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if name.endswith(".json"):
+                    yield name[:-len(".json")]
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def __contains__(self, spec_or_key: Union[RunSpec, str]) -> bool:
+        return os.path.exists(self.path_for(spec_or_key))

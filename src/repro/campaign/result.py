@@ -1,0 +1,131 @@
+"""Serializable run results.
+
+The runtime's :class:`~repro.runtime.RunResult` (and the
+:class:`~repro.network.NetworkStats` inside it) round-trips through
+plain JSON here: enum-keyed and tuple-keyed dicts become sorted lists,
+so the canonical text is deterministic and the reconstructed dataclass
+compares equal to the original.
+
+:class:`RunRecord` is the campaign-level envelope stored in the result
+cache: the spec key, the workload's headline metrics, the full
+simulation result, and -- for failed runs -- the captured error instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional
+
+from repro.network import NetworkStats, MsgType
+from repro.runtime import RunResult
+
+
+def network_stats_to_jsonable(stats: NetworkStats) -> Dict[str, Any]:
+    return {
+        "messages": stats.messages,
+        "bytes": stats.bytes,
+        "local_messages": stats.local_messages,
+        "by_type": {t.value: n for t, n in sorted(
+            stats.by_type.items(), key=lambda kv: kv[0].value)},
+        "bytes_by_type": {t.value: n for t, n in sorted(
+            stats.bytes_by_type.items(), key=lambda kv: kv[0].value)},
+        "by_pair": [[src, dst, n] for (src, dst), n in
+                    sorted(stats.by_pair.items())],
+        "sent_by_node": {str(k): v for k, v in
+                         sorted(stats.sent_by_node.items())},
+        "recv_by_node": {str(k): v for k, v in
+                         sorted(stats.recv_by_node.items())},
+        "contention_cycles": stats.contention_cycles,
+    }
+
+
+def network_stats_from_jsonable(data: Mapping[str, Any]) -> NetworkStats:
+    return NetworkStats(
+        messages=data["messages"],
+        bytes=data["bytes"],
+        local_messages=data["local_messages"],
+        by_type={MsgType(t): n for t, n in data["by_type"].items()},
+        bytes_by_type={MsgType(t): n
+                       for t, n in data["bytes_by_type"].items()},
+        by_pair={(src, dst): n for src, dst, n in data["by_pair"]},
+        sent_by_node={int(k): v for k, v in data["sent_by_node"].items()},
+        recv_by_node={int(k): v for k, v in data["recv_by_node"].items()},
+        contention_cycles=data["contention_cycles"],
+    )
+
+
+def run_result_to_jsonable(result: RunResult) -> Dict[str, Any]:
+    return {
+        "total_cycles": result.total_cycles,
+        "events": result.events,
+        "misses": dict(result.misses),
+        "updates": dict(result.updates),
+        "shared_refs": result.shared_refs,
+        "network": network_stats_to_jsonable(result.network),
+        "proc_done_times": list(result.proc_done_times),
+        "proc_instructions": list(result.proc_instructions),
+        "proc_spin_wakeups": list(result.proc_spin_wakeups),
+    }
+
+
+def run_result_from_jsonable(data: Mapping[str, Any]) -> RunResult:
+    return RunResult(
+        total_cycles=data["total_cycles"],
+        events=data["events"],
+        misses=dict(data["misses"]),
+        updates=dict(data["updates"]),
+        shared_refs=data["shared_refs"],
+        network=network_stats_from_jsonable(data["network"]),
+        proc_done_times=list(data["proc_done_times"]),
+        proc_instructions=list(data["proc_instructions"]),
+        proc_spin_wakeups=list(data["proc_spin_wakeups"]),
+    )
+
+
+@dataclass
+class RunRecord:
+    """Outcome of executing (or recalling) one :class:`RunSpec`.
+
+    ``ok`` records whether the simulation completed; on failure ``sim``
+    is None and ``error``/``error_type`` carry the captured traceback
+    so one bad point never takes down a campaign.  ``cached`` and
+    ``elapsed_s`` describe *this* materialization, not the simulation
+    itself, and are excluded from equality.
+    """
+
+    key: str
+    workload: str
+    ok: bool
+    metrics: Dict[str, float] = field(default_factory=dict)
+    sim: Optional[RunResult] = None
+    error: Optional[str] = None
+    error_type: Optional[str] = None
+    elapsed_s: float = field(default=0.0, compare=False)
+    cached: bool = field(default=False, compare=False)
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        return {
+            "key": self.key,
+            "workload": self.workload,
+            "ok": self.ok,
+            "metrics": dict(self.metrics),
+            "sim": (None if self.sim is None
+                    else run_result_to_jsonable(self.sim)),
+            "error": self.error,
+            "error_type": self.error_type,
+            "elapsed_s": self.elapsed_s,
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: Mapping[str, Any]) -> "RunRecord":
+        return cls(
+            key=data["key"],
+            workload=data["workload"],
+            ok=data["ok"],
+            metrics=dict(data["metrics"]),
+            sim=(None if data["sim"] is None
+                 else run_result_from_jsonable(data["sim"])),
+            error=data.get("error"),
+            error_type=data.get("error_type"),
+            elapsed_s=data.get("elapsed_s", 0.0),
+        )

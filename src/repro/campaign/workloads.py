@@ -1,0 +1,120 @@
+"""The campaign workload registry.
+
+A workload is a named function from a :class:`RunSpec` to
+``(RunResult, metrics)``: it builds a machine from ``spec.config``,
+runs the program described by ``spec.params``, and returns the raw
+simulation result plus the workload's headline metrics (the numbers the
+figure tables plot, e.g. ``avg_latency``).
+
+The three synthetic programs of the paper's section 4 are registered
+here; other modules add their own with :func:`register_workload` (the
+checker suite registers its litmus programs in
+``repro.experiments.check``, see ``docs/extending.md``).  Lookup
+lazily imports those provider modules so that cache-miss execution in a
+freshly spawned worker process still finds every workload.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Callable, Dict, Tuple
+
+from repro.runtime import RunResult
+from repro.campaign.spec import RunSpec
+
+#: a workload body: spec -> (simulation result, headline metrics)
+WorkloadFn = Callable[[RunSpec], Tuple[RunResult, Dict[str, float]]]
+
+_REGISTRY: Dict[str, WorkloadFn] = {}
+
+#: modules that register additional workloads as an import side effect
+_PROVIDERS = ("repro.experiments.check",)
+
+
+def register_workload(name: str) -> Callable[[WorkloadFn], WorkloadFn]:
+    """Decorator: add ``fn`` to the registry under ``name``."""
+    def deco(fn: WorkloadFn) -> WorkloadFn:
+        _REGISTRY[name] = fn
+        return fn
+    return deco
+
+
+def get_workload(name: str) -> WorkloadFn:
+    if name not in _REGISTRY:
+        for module in _PROVIDERS:
+            importlib.import_module(module)
+        if name not in _REGISTRY:
+            raise KeyError(
+                f"unknown workload {name!r}; registered: "
+                f"{', '.join(sorted(_REGISTRY))}")
+    return _REGISTRY[name]
+
+
+def run_workload(spec: RunSpec) -> Tuple[RunResult, Dict[str, float]]:
+    """Execute ``spec`` and return (simulation result, metrics)."""
+    return get_workload(spec.workload)(spec)
+
+
+# ----------------------------------------------------------------------
+# the paper's synthetic programs (section 4)
+# ----------------------------------------------------------------------
+
+@register_workload("lock")
+def _lock_workload(spec: RunSpec):
+    from repro.workloads import run_lock_workload
+
+    params = spec.params_dict
+    kind = params.pop("kind")
+    res = run_lock_workload(spec.config, kind, **params)
+    return res.result, {
+        "avg_latency": res.avg_latency,
+        "total_acquires": res.total_acquires,
+        "hold_cycles": res.hold_cycles,
+    }
+
+
+@register_workload("barrier")
+def _barrier_workload(spec: RunSpec):
+    from repro.workloads import run_barrier_workload
+
+    params = spec.params_dict
+    kind = params.pop("kind")
+    res = run_barrier_workload(spec.config, kind, **params)
+    return res.result, {
+        "avg_latency": res.avg_latency,
+        "episodes": res.episodes,
+    }
+
+
+@register_workload("reduction")
+def _reduction_workload(spec: RunSpec):
+    from repro.workloads import run_reduction_workload
+
+    params = spec.params_dict
+    kind = params.pop("kind")
+    res = run_reduction_workload(spec.config, kind, **params)
+    return res.result, {
+        "avg_latency": res.avg_latency,
+        "iterations": res.iterations,
+    }
+
+
+# ----------------------------------------------------------------------
+# the applications (handy for app-level sweeps and the checker suite)
+# ----------------------------------------------------------------------
+
+@register_workload("histogram")
+def _histogram_workload(spec: RunSpec):
+    from repro.apps.histogram import run_histogram
+
+    res = run_histogram(spec.config, **spec.params_dict)
+    return res.result, {"cycles_per_item": res.cycles_per_item}
+
+
+@register_workload("workqueue")
+def _workqueue_workload(spec: RunSpec):
+    from repro.apps.workqueue import run_workqueue
+
+    res = run_workqueue(spec.config, **spec.params_dict)
+    return res.result, {"cycles_per_item": res.cycles_per_item,
+                        "balance": res.balance}

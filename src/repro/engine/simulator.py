@@ -135,12 +135,20 @@ class Simulator:
         self._stopped = True
 
     def step(self) -> bool:
-        """Process a single event.  Returns False if the queue is empty."""
-        if not self._queue:
+        """Process a single event.  Returns False if the queue is empty
+        or the simulator has been stopped.  Enforces the same
+        ``max_events`` livelock safety valve as :meth:`run`.
+        """
+        if self._stopped or not self._queue:
             return False
         when, _seq, fn, args = heapq.heappop(self._queue)
         self.now = when
         self.events_processed += 1
+        if (self._max_events is not None
+                and self.events_processed > self._max_events):
+            raise SimulationError(
+                f"exceeded max_events={self._max_events}; "
+                "likely livelock")
         fn(*args)
         return True
 

@@ -3,18 +3,22 @@ paper's evaluation section.
 
 Each ``fig*`` function returns the figure's dataset (a
 :class:`~repro.metrics.tables.Series` for the latency figures, a
-:class:`~repro.metrics.tables.StackedBars` for the traffic figures)
-plus raw per-run results; ``render`` turns it into the text tables the
-benchmarks print.  The CLI (``python -m repro.experiments``) runs any
-subset.
+:class:`~repro.metrics.tables.StackedBars` for the traffic figures).
+Figures are campaigns (see :mod:`repro.campaign`): ``figure_points``
+generates the specs, ``figure_table`` folds the records into the
+dataset, and the ``fig*`` entry points accept a ``runner=`` to execute
+in parallel and/or against a result cache.  The CLI
+(``python -m repro.experiments``) runs any subset with
+``--jobs`` / ``--cache-dir``.
 """
 
 from repro.experiments.figures import (
     fig8_lock_latency, fig9_lock_misses, fig10_lock_updates,
     fig11_barrier_latency, fig12_barrier_misses, fig13_barrier_updates,
     fig14_reduction_latency, fig15_reduction_misses,
-    fig16_reduction_updates, FIGURES, MISS_CATEGORIES, UPDATE_CATEGORIES,
-    combo_label,
+    fig16_reduction_updates, FIGURES, FIGURE_DEFS, FigureDef,
+    FigurePoint, figure_points, figure_table, run_figure,
+    MISS_CATEGORIES, UPDATE_CATEGORIES, combo_label,
 )
 
 __all__ = [
@@ -22,5 +26,7 @@ __all__ = [
     "fig11_barrier_latency", "fig12_barrier_misses",
     "fig13_barrier_updates", "fig14_reduction_latency",
     "fig15_reduction_misses", "fig16_reduction_updates", "FIGURES",
+    "FIGURE_DEFS", "FigureDef", "FigurePoint", "figure_points",
+    "figure_table", "run_figure",
     "MISS_CATEGORIES", "UPDATE_CATEGORIES", "combo_label",
 ]

@@ -16,6 +16,12 @@ write buffer), and phase programs fence before **every** barrier wait
 -- barrier arrival stores publish only the fenced part of a node's
 knowledge.
 
+The dynamic suite is expressed as campaign specs (``check-*``
+workloads in the :mod:`repro.campaign` registry), so it shares the
+figure harness's execution path: ``--jobs N`` fans the combinations
+out over worker processes and per-case failures are captured without
+aborting the rest of the suite.
+
 Exit status 0 when every combination is clean, 1 otherwise.
 """
 
@@ -23,10 +29,11 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
+from repro.campaign import CampaignRunner, RunSpec, register_workload
 from repro.config import ALL_PROTOCOLS, MachineConfig, Protocol
-from repro.checkers import CheckerError, run_lint
+from repro.checkers import run_lint
 from repro.isa.ops import Compute, Fence, Read, SpinUntil, Write
 from repro.runtime import Machine
 from repro.sync.barriers import BARRIER_KINDS, make_barrier
@@ -96,7 +103,7 @@ def run_mp(config: MachineConfig) -> None:
     machine.spawn(0, producer(0))
     for n in range(1, config.num_procs):
         machine.spawn(n, consumer(n))
-    machine.run()
+    return machine.run()
 
 
 def run_handshake(config: MachineConfig) -> None:
@@ -132,7 +139,7 @@ def run_handshake(config: MachineConfig) -> None:
 
     machine.spawn(0, side_a(0))
     machine.spawn(1 % config.num_procs, side_b(1))
-    machine.run()
+    return machine.run()
 
 
 def run_lock_counter(config: MachineConfig, lock_kind: str) -> None:
@@ -151,12 +158,13 @@ def run_lock_counter(config: MachineConfig, lock_kind: str) -> None:
         yield Fence()
 
     machine.spawn_all(program)
-    machine.run()
+    result = machine.run()
     expected = config.num_procs * LOCK_ROUNDS
     got = final_value(machine, counter)
     if got != expected:
         raise AssertionError(
             f"lock counter ({lock_kind}): {got} != {expected}")
+    return result
 
 
 def run_barrier_phases(config: MachineConfig, barrier_kind: str) -> None:
@@ -185,35 +193,74 @@ def run_barrier_phases(config: MachineConfig, barrier_kind: str) -> None:
             yield from bar.wait(node)
 
     machine.spawn_all(program)
-    machine.run()
+    return machine.run()
 
 
-def run_histogram_checked(config: MachineConfig) -> None:
+def run_histogram_checked(config: MachineConfig):
     from repro.apps.histogram import run_histogram
-    run_histogram(config, items_per_proc=8, num_bins=4)
+    return run_histogram(config, items_per_proc=8, num_bins=4).result
 
 
-def run_workqueue_checked(config: MachineConfig) -> None:
+def run_workqueue_checked(config: MachineConfig):
     from repro.apps.workqueue import run_workqueue
-    run_workqueue(config, total_items=4 * config.num_procs,
-                  lock_kind="MCS")
+    return run_workqueue(config, total_items=4 * config.num_procs,
+                         lock_kind="MCS").result
 
 
-def dynamic_cases(procs: int
-                  ) -> List[Tuple[str, Callable[[MachineConfig], None]]]:
-    cases: List[Tuple[str, Callable[[MachineConfig], None]]] = [
-        ("mp", run_mp),
-        ("handshake", run_handshake),
-    ]
-    for kind in ALL_LOCK_KINDS:
-        cases.append((f"lock-{kind}",
-                      lambda cfg, k=kind: run_lock_counter(cfg, k)))
-    for kind in BARRIER_KINDS:
-        cases.append((f"barrier-{kind}",
-                      lambda cfg, k=kind: run_barrier_phases(cfg, k)))
-    cases.append(("histogram", run_histogram_checked))
-    cases.append(("workqueue", run_workqueue_checked))
-    return cases
+# ----------------------------------------------------------------------
+# campaign workloads: the dynamic suite as specs
+# ----------------------------------------------------------------------
+
+@register_workload("check-mp")
+def _wl_mp(spec: RunSpec):
+    return run_mp(spec.config), {}
+
+
+@register_workload("check-handshake")
+def _wl_handshake(spec: RunSpec):
+    return run_handshake(spec.config), {}
+
+
+@register_workload("check-lock")
+def _wl_lock(spec: RunSpec):
+    return run_lock_counter(spec.config, spec.params_dict["kind"]), {}
+
+
+@register_workload("check-barrier")
+def _wl_barrier(spec: RunSpec):
+    return run_barrier_phases(spec.config, spec.params_dict["kind"]), {}
+
+
+@register_workload("check-histogram")
+def _wl_histogram(spec: RunSpec):
+    return run_histogram_checked(spec.config), {}
+
+
+@register_workload("check-workqueue")
+def _wl_workqueue(spec: RunSpec):
+    return run_workqueue_checked(spec.config), {}
+
+
+def dynamic_specs(procs: int) -> List[Tuple[str, RunSpec]]:
+    """The whole dynamic suite as labelled campaign specs: every case
+    x protocol, each on a strict machine with both checkers on."""
+    labelled: List[Tuple[str, RunSpec]] = []
+    for proto in ALL_PROTOCOLS:
+        config = checked_config(proto, procs)
+
+        def add(name: str, workload: str, **params) -> None:
+            labelled.append((f"{name} [{proto.short}]",
+                             RunSpec.make(workload, config, **params)))
+
+        add("mp", "check-mp")
+        add("handshake", "check-handshake")
+        for kind in ALL_LOCK_KINDS:
+            add(f"lock-{kind}", "check-lock", kind=kind)
+        for kind in BARRIER_KINDS:
+            add(f"barrier-{kind}", "check-barrier", kind=kind)
+        add("histogram", "check-histogram")
+        add("workqueue", "check-workqueue")
+    return labelled
 
 
 # ----------------------------------------------------------------------
@@ -297,11 +344,24 @@ def build_parser() -> argparse.ArgumentParser:
                     "lint pass over the litmus + application suite.")
     p.add_argument("--procs", type=int, default=4,
                    help="machine size for the dynamic suite (default 4)")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="fan the dynamic suite out over N worker "
+                        "processes")
     p.add_argument("--lint-only", action="store_true",
                    help="only run the static lint section")
     p.add_argument("--quiet", action="store_true",
                    help="only print failures and the summary line")
     return p
+
+
+def _error_detail(record) -> str:
+    """The exception-message portion of a captured traceback (a
+    CheckerError stringifies its whole violation report, keep it all)."""
+    lines = (record.error or "").strip().split("\n")
+    for i, line in enumerate(lines):
+        if record.error_type and line.startswith(record.error_type):
+            return "\n".join(lines[i:])
+    return lines[-1] if lines else ""
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -310,29 +370,26 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.procs < 2:
         parser.error("--procs must be at least 2 (the litmus programs "
                      "need a producer and a consumer)")
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
     out = sys.stdout
     failures = 0
     ran = 0
 
     if not args.lint_only:
-        cases = dynamic_cases(args.procs)
-        for proto in ALL_PROTOCOLS:
-            for name, case in cases:
-                ran += 1
-                label = f"{name} [{proto.short}]"
-                try:
-                    case(checked_config(proto, args.procs))
-                except CheckerError as exc:
-                    failures += 1
-                    print(f"  FAIL {label}", file=out)
-                    print("    " + str(exc).replace("\n", "\n    "),
-                          file=out)
-                except AssertionError as exc:
-                    failures += 1
-                    print(f"  FAIL {label}: {exc}", file=out)
-                else:
-                    if not args.quiet:
-                        print(f"  ok   {label}", file=out)
+        labelled = dynamic_specs(args.procs)
+        runner = CampaignRunner(jobs=args.jobs)
+        report = runner.run([spec for _label, spec in labelled])
+        ran = len(labelled)
+        for (label, _spec), record in zip(labelled, report.records):
+            if record.ok:
+                if not args.quiet:
+                    print(f"  ok   {label}", file=out)
+            else:
+                failures += 1
+                print(f"  FAIL {label} ({record.error_type})", file=out)
+                print("    " + _error_detail(record)
+                      .replace("\n", "\n    "), file=out)
 
     failures += run_lint_suite(args.procs, out=out, quiet=args.quiet)
 

@@ -5,17 +5,31 @@ scale is 10% of the paper's iteration counts (the latency metrics are
 per-iteration averages, so the series keep their shape); pass
 ``--paper-scale`` for the full counts or ``--scale 0.02`` for quick
 looks.
+
+Every figure runs through the campaign layer (``repro.campaign``):
+``--jobs N`` fans the figure's simulations out over N worker processes
+(the result tables are bit-identical to a serial run), and results are
+cached content-addressed under ``--cache-dir`` (default
+``.repro-cache``; the key includes a code-version salt, so editing the
+simulator invalidates the cache automatically).  A warm-cache re-run
+executes zero simulations.  ``--bench-json`` records per-figure
+wall-clock / cache tallies for CI artifacts.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import List
 
+from repro.campaign import CampaignError, CampaignRunner, ResultCache
 from repro.config import ExperimentScale, PAPER_MACHINE_SIZES
-from repro.experiments.figures import FIGURES
+from repro.experiments.figures import FIGURES, figure_points, figure_table
+
+#: default location of the content-addressed result cache
+DEFAULT_CACHE_DIR = ".repro-cache"
 
 
 def _parse_sizes(text: str) -> tuple:
@@ -45,6 +59,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--procs", type=int, default=32,
                    help="machine size for the traffic figures "
                         "(default 32)")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="run the figure sweeps over N worker processes "
+                        "(results are identical to --jobs 1)")
+    p.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                   metavar="DIR",
+                   help="content-addressed result cache directory "
+                        f"(default {DEFAULT_CACHE_DIR})")
+    p.add_argument("--no-cache", action="store_true",
+                   help="bypass the result cache entirely")
+    p.add_argument("--bench-json", metavar="FILE", default=None,
+                   help="write per-figure timing / cache tallies as "
+                        "JSON (for CI artifacts)")
     p.add_argument("--quiet", action="store_true",
                    help="suppress progress lines")
     p.add_argument("--svg", metavar="DIR", default=None,
@@ -73,23 +99,51 @@ def main(argv: List[str] = None) -> int:
         print(f"unknown figure(s): {', '.join(unknown)}; "
               f"choose from {', '.join(FIGURES)}", file=sys.stderr)
         return 2
+    if args.jobs < 1:
+        print("--jobs must be >= 1", file=sys.stderr)
+        return 2
 
     scale = (ExperimentScale.paper() if args.paper_scale
              else ExperimentScale.scaled(args.scale))
-    progress = None
-    if not args.quiet:
-        def progress(msg: str) -> None:
-            print(f"  ... {msg}", file=sys.stderr, flush=True)
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    runner = CampaignRunner(jobs=args.jobs, cache=cache)
+    bench: dict = {"jobs": args.jobs,
+                   "scale": ("paper" if args.paper_scale else args.scale),
+                   "cache_dir": (None if args.no_cache
+                                 else args.cache_dir),
+                   "figures": {}}
 
     for fig in wanted:
-        runner = FIGURES[fig]
         t0 = time.time()
-        if fig in ("fig8", "fig11", "fig14"):
-            data = runner(scale=scale, sizes=args.sizes,
-                          progress=progress, sanitize=args.sanitize)
-        else:
-            data = runner(scale=scale, P=args.procs, progress=progress,
-                          sanitize=args.sanitize)
+        kw = {"sizes": args.sizes} if fig in ("fig8", "fig11", "fig14") \
+            else {"P": args.procs}
+        points = figure_points(fig, scale=scale, sanitize=args.sanitize,
+                               **kw)
+        hook = None
+        if not args.quiet:
+            def hook(i, spec, record, _points=points, _fig=fig):
+                point = _points[i]
+                at = f" P={point.x}" if point.x is not None else ""
+                cached = " (cached)" if record.cached else ""
+                state = "" if record.ok else " FAILED"
+                print(f"  ... {_fig} {point.label}{at}{cached}{state}",
+                      file=sys.stderr, flush=True)
+        report = runner.run([pt.spec for pt in points], progress=hook)
+        try:
+            report.raise_on_failure()
+        except CampaignError as exc:
+            print(exc, file=sys.stderr)
+            for rec in exc.failures:
+                print(rec.error, file=sys.stderr)
+            return 1
+        data = figure_table(fig, points, report.records)
+        elapsed = time.time() - t0
+        bench["figures"][fig] = {
+            "specs": len(points),
+            "executed": report.executed,
+            "cached": report.cached,
+            "elapsed_s": round(elapsed, 3),
+        }
         print()
         print(data.render())
         if args.svg:
@@ -101,9 +155,19 @@ def main(argv: List[str] = None) -> int:
                 fh.write(to_svg(data))
             print(f"  [wrote {path}]", file=sys.stderr)
         if not args.quiet:
-            print(f"  [{fig} took {time.time() - t0:.1f}s at scale "
-                  f"{'paper' if args.paper_scale else args.scale}]",
+            print(f"  [{fig} took {elapsed:.1f}s at scale "
+                  f"{'paper' if args.paper_scale else args.scale}: "
+                  f"{report.executed} run, {report.cached} cached, "
+                  f"jobs={args.jobs}]",
                   file=sys.stderr)
+
+    if args.bench_json:
+        bench["total_elapsed_s"] = round(
+            sum(f["elapsed_s"] for f in bench["figures"].values()), 3)
+        with open(args.bench_json, "w", encoding="utf-8") as fh:
+            json.dump(bench, fh, indent=2, sort_keys=True)
+        if not args.quiet:
+            print(f"  [wrote {args.bench_json}]", file=sys.stderr)
     return 0
 
 

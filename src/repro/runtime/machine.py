@@ -158,7 +158,7 @@ class Machine:
 
         stuck = [p for p in self.processors if not p.done]
         if stuck and until is None:
-            attribution = [StuckThread(p.node, repr(p._current_op))
+            attribution = [StuckThread(p.node, repr(p.current_op))
                            for p in stuck]
             details = ", ".join(str(s) for s in attribution)
             raise DeadlockError(

@@ -53,6 +53,14 @@ class Processor:
         self._current_op: Optional[Op] = None
         self._done_callbacks: list = []
 
+    @property
+    def current_op(self) -> Optional[Op]:
+        """The operation the thread last dispatched (None before the
+        first instruction).  While the thread is blocked this is the
+        operation it is blocked on -- deadlock reports attribute stuck
+        threads with it."""
+        return self._current_op
+
     def on_done(self, cb) -> None:
         """Run ``cb()`` when this thread finishes (Join support)."""
         if self.done:

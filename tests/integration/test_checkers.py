@@ -163,8 +163,13 @@ def test_experiments_cli_dispatches_check():
 
 
 def test_figures_accept_sanitize_flag():
-    from repro.experiments.figures import _lock_run
+    from repro.campaign import execute_spec
+    from repro.experiments.figures import figure_points
     from repro.config import ExperimentScale
-    res = _lock_run(Protocol.PU, "tk", 2, ExperimentScale.quick(),
-                    sanitize=True)
-    assert res.result.total_cycles > 0
+    points = figure_points("fig9", scale=ExperimentScale.quick(), P=2,
+                           sanitize=True)
+    assert all(pt.spec.config.enable_sanitizer
+               and pt.spec.config.enable_race_detector
+               for pt in points)
+    record = execute_spec(points[0].spec)
+    assert record.ok and record.sim.total_cycles > 0

@@ -76,12 +76,89 @@ class TestFigureRunners:
         assert all(c.startswith("fig9") for c in calls)
 
 
+class TestCampaignFigures:
+    """The figures are campaigns: parallel == serial, cache == live."""
+
+    def test_parallel_table_identical_to_serial(self):
+        from repro.campaign import CampaignRunner
+        serial = fig14_reduction_latency(
+            scale=TINY, sizes=SIZES, runner=CampaignRunner(jobs=1))
+        parallel = fig14_reduction_latency(
+            scale=TINY, sizes=SIZES, runner=CampaignRunner(jobs=4))
+        assert parallel.render() == serial.render()
+
+    def test_warm_cache_runs_zero_simulations(self, tmp_path):
+        from repro.campaign import CampaignRunner, ResultCache
+        from repro.experiments import figure_points
+        runner = CampaignRunner(cache=ResultCache(tmp_path))
+        cold = fig9_lock_misses(scale=TINY, P=2, runner=runner)
+        points = figure_points("fig9", scale=TINY, P=2)
+        warm_report = runner.run([pt.spec for pt in points])
+        assert warm_report.executed == 0
+        assert warm_report.cached == len(points)
+        from repro.experiments import figure_table
+        warm = figure_table("fig9", points, warm_report.records)
+        assert warm.render() == cold.render()
+
+    def test_figure_failure_raises_campaign_error(self):
+        from repro.campaign import CampaignError, CampaignRunner
+        from repro.experiments import run_figure
+        with pytest.raises(CampaignError, match="failed"):
+            run_figure("fig9", scale=TINY, P=2,
+                       runner=CampaignRunner(), delay_mode="bogus")
+
+    def test_points_cover_every_combination(self):
+        from repro.experiments import figure_points
+        points = figure_points("fig8", scale=TINY, sizes=SIZES)
+        assert len(points) == 3 * 3 * len(SIZES)
+        labels = {pt.label for pt in points}
+        assert labels == {f"{k}-{p}" for k in ("tk", "MCS", "uc")
+                          for p in ("i", "u", "c")}
+
+
 class TestCLI:
     def test_parser_defaults(self):
         args = build_parser().parse_args([])
         assert args.figures == ["all"]
         assert args.scale == 0.1
         assert args.sizes == (1, 2, 4, 8, 16, 32)
+        assert args.jobs == 1
+        assert args.cache_dir == ".repro-cache"
+        assert not args.no_cache
+
+    def test_cli_jobs_and_cache(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cc")
+        bench = str(tmp_path / "BENCH_figures.json")
+        argv = ["fig16", "--scale", "0.002", "--procs", "2",
+                "--jobs", "2", "--cache-dir", cache_dir,
+                "--bench-json", bench, "--quiet"]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "Figure 16" in cold
+        import json as _json
+        with open(bench) as fh:
+            tallies = _json.load(fh)["figures"]["fig16"]
+        assert tallies["executed"] == tallies["specs"] > 0
+        # warm re-run: identical table, zero simulations
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert warm == cold
+        with open(bench) as fh:
+            tallies = _json.load(fh)["figures"]["fig16"]
+        assert tallies["executed"] == 0
+        assert tallies["cached"] == tallies["specs"]
+
+    def test_cli_no_cache(self, tmp_path, capsys):
+        argv = ["fig16", "--scale", "0.002", "--procs", "2",
+                "--no-cache", "--quiet"]
+        assert main(argv) == 0
+        assert "Figure 16" in capsys.readouterr().out
+
+    def test_check_accepts_jobs(self, capsys):
+        from repro.experiments.check import main as check_main
+        assert check_main(["--procs", "2", "--jobs", "2",
+                           "--quiet"]) == 0
+        assert "clean" in capsys.readouterr().out
 
     def test_parser_sizes(self):
         args = build_parser().parse_args(["--sizes", "2,4"])
@@ -94,7 +171,7 @@ class TestCLI:
 
     def test_cli_runs_a_traffic_figure(self, capsys):
         rc = main(["fig9", "--scale", "0.002", "--procs", "4",
-                   "--quiet"])
+                   "--no-cache", "--quiet"])
         assert rc == 0
         out = capsys.readouterr().out
         assert "Figure 9" in out
@@ -102,7 +179,7 @@ class TestCLI:
 
     def test_cli_runs_a_latency_figure(self, capsys):
         rc = main(["fig14", "--scale", "0.002", "--sizes", "2,4",
-                   "--quiet"])
+                   "--no-cache", "--quiet"])
         assert rc == 0
         out = capsys.readouterr().out
         assert "Figure 14" in out

@@ -200,3 +200,38 @@ class TestAccounting:
         with pytest.raises(RuntimeError, match="boom"):
             m.run()
         assert proc.failure is not None
+
+    def test_current_op_exposes_blocked_operation(self, protocol):
+        """The public attribution hook: while a thread is blocked,
+        ``current_op`` is the operation it is blocked on (deadlock
+        reports are built from it)."""
+        m = make_machine(1, protocol)
+        flag = m.memmap.alloc_word(0)
+        m.memmap.mark_sync(flag)
+
+        def prog():
+            yield SpinUntil(flag, lambda v: v == 1)   # never satisfied
+
+        proc = m.spawn(0, prog())
+        assert proc.current_op is None                # not started yet
+        m.run(until=2000)
+        op = proc.current_op
+        assert isinstance(op, SpinUntil)
+        assert op.addr == flag
+
+    def test_deadlock_report_uses_current_op(self, protocol):
+        from repro.engine import DeadlockError
+
+        m = make_machine(1, protocol)
+        flag = m.memmap.alloc_word(0)
+        m.memmap.mark_sync(flag)
+
+        def prog():
+            yield SpinUntil(flag, lambda v: v == 2)
+
+        proc = m.spawn(0, prog())
+        with pytest.raises(DeadlockError) as exc_info:
+            m.run()
+        (stuck,) = exc_info.value.stuck
+        assert stuck.node == 0
+        assert stuck.op == repr(proc.current_op)

@@ -121,6 +121,33 @@ class TestRunControl:
         with pytest.raises(SimulationError, match="max_events"):
             sim.run()
 
+    def test_step_enforces_max_events(self):
+        """step() must trip the same livelock safety valve as run()."""
+        sim = Simulator(max_events=3)
+
+        def loop():
+            sim.schedule(1, loop)
+
+        sim.schedule(1, loop)
+        for _ in range(3):
+            assert sim.step() is True
+        with pytest.raises(SimulationError, match="max_events"):
+            sim.step()
+
+    def test_step_respects_stop(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1, log.append, "a")
+        sim.schedule(2, log.append, "b")
+        assert sim.step() is True
+        sim.stop()
+        assert sim.step() is False
+        assert log == ["a"]
+        assert sim.pending_events == 1
+        # run() re-arms the loop, exactly as before
+        sim.run()
+        assert log == ["a", "b"]
+
     def test_run_not_reentrant(self):
         sim = Simulator()
         failures = []
