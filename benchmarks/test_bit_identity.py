@@ -1,0 +1,64 @@
+"""Bit-identity guard for perf work on the simulation core.
+
+Performance PRs must not change simulation *results*: this test runs
+one mid-size figure point (the figure-8 MCS/CU point at 8 processors,
+10% scale) and compares the **full** serialized
+:class:`~repro.runtime.RunResult` -- every miss/update class, the whole
+traffic matrix, per-type message and byte counts, contention cycles,
+per-processor completion times -- against a checked-in golden file,
+field by field.
+
+If an optimization changes any number here it is not an optimization,
+it is a semantic change: either revert it, or (for a deliberate model
+fix) regenerate the golden file and explain every changed field in the
+PR.  Regenerate with:
+
+    PYTHONPATH=src python - <<'EOF'
+    import json
+    from repro.campaign import RunSpec, canonical_json
+    from repro.campaign.runner import execute_spec
+    from repro.campaign.result import run_result_to_jsonable
+    from benchmarks.test_bit_identity import make_spec   # or inline it
+    rec = execute_spec(make_spec())
+    json.dump(json.loads(canonical_json(
+        run_result_to_jsonable(rec.sim))),
+        open("benchmarks/baselines/bitcheck_runresult.json", "w"),
+        indent=1, sort_keys=True)
+    EOF
+
+The simulation is deterministic (seeded RNGs, seq-ordered event queue,
+no hash-order dependence), so this holds across machines and Python
+versions.  Not part of tier-1 (``testpaths = tests``); CI runs it in
+the ``perf-smoke`` job.
+"""
+
+import json
+import os
+
+from repro.campaign import RunSpec
+from repro.campaign.result import run_result_to_jsonable
+from repro.campaign.runner import execute_spec
+from repro.config import MachineConfig, Protocol
+
+GOLDEN = os.path.join(os.path.dirname(__file__), "baselines",
+                      "bitcheck_runresult.json")
+
+
+def make_spec() -> RunSpec:
+    return RunSpec.make(
+        "lock", MachineConfig(num_procs=8, protocol=Protocol.CU),
+        code_version_salt="bitcheck",
+        kind="MCS", total_acquires=3200)
+
+
+def test_mid_size_figure_point_is_bit_identical():
+    rec = execute_spec(make_spec())
+    assert rec.ok, rec.error
+    got = json.loads(json.dumps(run_result_to_jsonable(rec.sim)))
+    with open(GOLDEN, encoding="utf-8") as fh:
+        want = json.load(fh)
+    # compare field-by-field first for a readable diff on failure
+    assert set(got) == set(want)
+    for field in sorted(want):
+        assert got[field] == want[field], f"RunResult[{field!r}] diverged"
+    assert got == want

@@ -32,6 +32,11 @@ _SCALAR_TYPES = (str, int, float, bool, type(None))
 #: MachineConfig fields holding a Protocol (serialized by enum value)
 _PROTOCOL_FIELDS = frozenset({"protocol", "hybrid_default"})
 
+#: mixed into the source digest; bump on changes that the digest alone
+#: would miss (behaviour-preserving rewrites whose cached results should
+#: still be retired, e.g. the PR-3 hot-path overhaul)
+CODE_VERSION_EPOCH = 2
+
 _code_version_cache: str = ""
 
 
@@ -58,6 +63,8 @@ def code_version(refresh: bool = False) -> str:
 
     root = os.path.dirname(os.path.abspath(repro.__file__))
     digest = hashlib.sha256()
+    digest.update(f"epoch:{CODE_VERSION_EPOCH}".encode())
+    digest.update(b"\0")
     paths = []
     for dirpath, _dirnames, filenames in os.walk(root):
         for name in filenames:

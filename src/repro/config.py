@@ -196,6 +196,17 @@ class MachineConfig:
             raise ValueError("write buffer needs at least one entry")
         if self.update_threshold < 1:
             raise ValueError("update threshold must be >= 1")
+        # precomputed shift/mask for the power-of-two sizes (the only
+        # sizes the paper uses); block_of / word_of are on the
+        # per-access hot path, where a shift beats a division.  The
+        # frozen dataclass forbids normal assignment, and these are not
+        # fields, so they stay out of equality / replace / asdict.
+        bs, ws = self.block_size_bytes, self.word_size_bytes
+        object.__setattr__(self, "_block_shift",
+                           bs.bit_length() - 1 if bs & (bs - 1) == 0
+                           else None)
+        object.__setattr__(self, "_word_mask",
+                           ~(ws - 1) if ws & (ws - 1) == 0 else None)
 
     # -- derived quantities ---------------------------------------------
 
@@ -222,13 +233,22 @@ class MachineConfig:
         return self.header_bytes + self.word_size_bytes
 
     def block_of(self, addr: int) -> int:
+        shift = self._block_shift
+        if shift is not None:
+            return addr >> shift
         return addr // self.block_size_bytes
 
     def word_of(self, addr: int) -> int:
         """Word-aligned address of ``addr`` (the classification unit)."""
+        mask = self._word_mask
+        if mask is not None:
+            return addr & mask
         return (addr // self.word_size_bytes) * self.word_size_bytes
 
     def block_base(self, addr: int) -> int:
+        shift = self._block_shift
+        if shift is not None:
+            return (addr >> shift) << shift
         return (addr // self.block_size_bytes) * self.block_size_bytes
 
     def home_of_block(self, block: int) -> int:

@@ -111,21 +111,27 @@ class Simulator:
         self._stopped = False
         queue = self._queue
         pop = heapq.heappop
+        limit = self._max_events
         try:
+            if until is None and limit is None:
+                # the common case: no horizon, no livelock budget --
+                # nothing but pop / advance / dispatch per event
+                while queue:
+                    when, _seq, fn, args = pop(queue)
+                    self.now = when
+                    self.events_processed += 1
+                    fn(*args)
+                    if self._stopped:
+                        return
+                return
             while queue and not self._stopped:
-                when, _seq, fn, args = pop(queue)
-                if until is not None and when > until:
-                    # put it back; we peeked past the horizon
-                    heapq.heappush(queue, (when, _seq, fn, args))
+                if until is not None and queue[0][0] > until:
+                    # peek, don't pop: same-cycle seq order is untouched
                     self.now = until
                     return
+                when, _seq, fn, args = pop(queue)
                 self.now = when
-                self.events_processed += 1
-                if (self._max_events is not None
-                        and self.events_processed > self._max_events):
-                    raise SimulationError(
-                        f"exceeded max_events={self._max_events}; "
-                        "likely livelock")
+                self._count_event()
                 fn(*args)
         finally:
             self._running = False
@@ -133,6 +139,16 @@ class Simulator:
     def stop(self) -> None:
         """Stop the run loop after the current event."""
         self._stopped = True
+
+    def _count_event(self) -> None:
+        """Tick ``events_processed`` and trip the ``max_events``
+        livelock safety valve (shared by :meth:`run` and :meth:`step`)."""
+        self.events_processed += 1
+        if (self._max_events is not None
+                and self.events_processed > self._max_events):
+            raise SimulationError(
+                f"exceeded max_events={self._max_events}; "
+                "likely livelock")
 
     def step(self) -> bool:
         """Process a single event.  Returns False if the queue is empty
@@ -143,12 +159,7 @@ class Simulator:
             return False
         when, _seq, fn, args = heapq.heappop(self._queue)
         self.now = when
-        self.events_processed += 1
-        if (self._max_events is not None
-                and self.events_processed > self._max_events):
-            raise SimulationError(
-                f"exceeded max_events={self._max_events}; "
-                "likely livelock")
+        self._count_event()
         fn(*args)
         return True
 

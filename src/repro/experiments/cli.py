@@ -71,6 +71,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--bench-json", metavar="FILE", default=None,
                    help="write per-figure timing / cache tallies as "
                         "JSON (for CI artifacts)")
+    p.add_argument("--profile", metavar="PREFIX", nargs="?",
+                   const="repro-profile", default=None,
+                   help="wrap the whole run in cProfile and write "
+                        "PREFIX.pstats plus a top-25 cumulative-time "
+                        "report to PREFIX.txt (default prefix "
+                        "'repro-profile'; use --jobs 1, worker "
+                        "processes are not profiled)")
     p.add_argument("--quiet", action="store_true",
                    help="suppress progress lines")
     p.add_argument("--svg", metavar="DIR", default=None,
@@ -113,6 +120,40 @@ def main(argv: List[str] = None) -> int:
                                  else args.cache_dir),
                    "figures": {}}
 
+    if args.profile:
+        if args.jobs > 1:
+            print("--profile only sees this process; worker "
+                  "simulations under --jobs > 1 are not profiled",
+                  file=sys.stderr)
+        import cProfile
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            rc = _run_figures(args, wanted, scale, runner, bench)
+        finally:
+            profiler.disable()
+            _write_profile(profiler, args.profile, quiet=args.quiet)
+        return rc
+    return _run_figures(args, wanted, scale, runner, bench)
+
+
+def _write_profile(profiler, prefix: str, quiet: bool = False) -> None:
+    """Dump ``prefix``.pstats and a top-25 cumulative text report."""
+    import io
+    import pstats
+
+    profiler.dump_stats(prefix + ".pstats")
+    buf = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buf)
+    stats.sort_stats("cumulative").print_stats(25)
+    with open(prefix + ".txt", "w", encoding="utf-8") as fh:
+        fh.write(buf.getvalue())
+    if not quiet:
+        print(f"  [wrote {prefix}.pstats and {prefix}.txt]",
+              file=sys.stderr)
+
+
+def _run_figures(args, wanted, scale, runner, bench) -> int:
     for fig in wanted:
         t0 = time.time()
         kw = {"sizes": args.sizes} if fig in ("fig8", "fig11", "fig14") \

@@ -77,6 +77,11 @@ class Cache:
         self.block_size = block_size
         self.associativity = associativity
         self.num_sets = num_lines // associativity
+        #: mask for the power-of-two set count (the common case); the
+        #: lookup path is per-access hot, where `&` beats `%`
+        self._set_mask = (self.num_sets - 1
+                          if self.num_sets & (self.num_sets - 1) == 0
+                          else None)
         #: per set: lines in LRU order (index 0 = least recent)
         self._sets: List[List[CacheLine]] = [[] for _ in
                                              range(self.num_sets)]
@@ -89,11 +94,16 @@ class Cache:
 
     def index_of(self, block: int) -> int:
         """The set index of ``block``."""
+        mask = self._set_mask
+        if mask is not None:
+            return block & mask
         return block % self.num_sets
 
     def lookup(self, block: int) -> Optional[CacheLine]:
         """The line holding ``block``, or None.  Touches LRU."""
-        ways = self._sets[self.index_of(block)]
+        mask = self._set_mask
+        ways = self._sets[block & mask if mask is not None
+                          else block % self.num_sets]
         for i, line in enumerate(ways):
             if line.block == block:
                 if line.state is CacheState.INVALID:

@@ -18,6 +18,14 @@ the NIC becoming free).
 Node-local transactions (a processor talking to its own home memory) do
 not traverse the network; they are delivered after a small fixed
 ``local_hop_cycles`` delay.
+
+Performance note: :meth:`Network.send` runs once per message and the
+simulator creates millions of them, so everything derivable from the
+config alone -- per-:class:`MsgType` sizes and flit counts, the
+all-pairs hop table -- is precomputed at construction, and the traffic
+statistics accumulate into plain ints / flat lists.  ``Network.stats``
+materializes the familiar :class:`NetworkStats` snapshot (identical
+shapes to the historical dict-based accumulation) on access.
 """
 
 from __future__ import annotations
@@ -28,13 +36,14 @@ from typing import Callable, Dict, List, Optional
 
 from repro.config import MachineConfig
 from repro.engine import Simulator
-from repro.network.messages import Message, MsgType
+from repro.network.messages import MSG_TYPES, Message, MsgType
 from repro.network.topology import MeshTopology
 
 
 @dataclass
 class NetworkStats:
-    """Aggregate traffic statistics."""
+    """Aggregate traffic statistics (an end-of-run / on-demand snapshot;
+    the live accumulation lives on :class:`Network` as flat counters)."""
 
     messages: int = 0
     bytes: int = 0
@@ -75,14 +84,37 @@ class Network:
         self.sim = sim
         self.config = config
         self.topology = MeshTopology(config.num_procs)
-        self.stats = NetworkStats()
+        P = config.num_procs
         self._handlers: List[Optional[Callable[[Message], None]]] = (
-            [None] * config.num_procs)
+            [None] * P)
         # busy-until times of each node's egress / ingress NIC
-        self._src_free = [0] * config.num_procs
-        self._dst_free = [0] * config.num_procs
+        self._src_free = [0] * P
+        self._dst_free = [0] * P
         self._jitter_rng = (random.Random(config.network_jitter_seed)
                             if config.network_jitter_cycles else None)
+        # --- precomputed per-message-send tables -----------------------
+        #: all-pairs hop counts, indexed [src][dst] (the topology owns
+        #: the table; bound here to skip a method call per message)
+        self._hops = self.topology._hops
+        #: bytes / flits on the wire, indexed by ``MsgType.index``
+        self._size_table = [self.size_of_type(mt) for mt in MSG_TYPES]
+        self._flits_table = [self.flits_of(sz) for sz in self._size_table]
+        #: config scalars hoisted out of the per-message path
+        self._num_nodes = P
+        self._local_hop = config.local_hop_cycles
+        self._switch_delay = config.switch_delay_cycles
+        self._jitter_cycles = config.network_jitter_cycles
+        # --- traffic accumulators (plain ints / flat lists; folded
+        # --- into a NetworkStats snapshot by the ``stats`` property) ---
+        self._n_messages = 0
+        self._n_bytes = 0
+        self._n_local = 0
+        self._n_contention = 0
+        self._type_counts = [0] * len(MSG_TYPES)
+        self._type_bytes = [0] * len(MSG_TYPES)
+        self._pair_counts = [0] * (P * P)
+        self._sent_counts = [0] * P
+        self._recv_counts = [0] * P
 
     def register(self, node: int, handler: Callable[[Message], None]) -> None:
         if self._handlers[node] is not None:
@@ -91,13 +123,16 @@ class Network:
 
     # ------------------------------------------------------------------
 
-    def size_of(self, msg: Message) -> int:
+    def size_of_type(self, mtype: MsgType) -> int:
         cfg = self.config
-        if msg.mtype.is_data:
+        if mtype.is_data:
             return cfg.data_msg_bytes
-        if msg.mtype.is_word:
+        if mtype.is_word:
             return cfg.word_msg_bytes
         return cfg.ctrl_msg_bytes
+
+    def size_of(self, msg: Message) -> int:
+        return self._size_table[msg.mtype.index]
 
     def flits_of(self, size_bytes: int) -> int:
         fb = self.config.flit_bytes
@@ -113,43 +148,81 @@ class Network:
 
     # ------------------------------------------------------------------
 
+    @property
+    def stats(self) -> NetworkStats:
+        """The traffic statistics, materialized as a snapshot.
+
+        Dict shapes match the historical accumulation: only observed
+        types / pairs / nodes appear as keys.
+        """
+        return NetworkStats(
+            messages=self._n_messages,
+            bytes=self._n_bytes,
+            local_messages=self._n_local,
+            by_type={mt: n for mt, n in zip(MSG_TYPES, self._type_counts)
+                     if n},
+            bytes_by_type={mt: b for mt, b
+                           in zip(MSG_TYPES, self._type_bytes) if b},
+            by_pair={(i // self.config.num_procs,
+                      i % self.config.num_procs): n
+                     for i, n in enumerate(self._pair_counts) if n},
+            sent_by_node={node: n for node, n
+                          in enumerate(self._sent_counts) if n},
+            recv_by_node={node: n for node, n
+                          in enumerate(self._recv_counts) if n},
+            contention_cycles=self._n_contention,
+        )
+
+    # ------------------------------------------------------------------
+
     def send(self, msg: Message) -> None:
         """Inject ``msg``; it is handed to the destination handler when
         fully delivered."""
-        cfg = self.config
         sim = self.sim
         now = sim.now
-        msg.size = self.size_of(msg)
+        src = msg.src
+        dst = msg.dst
+        ti = msg.mtype.index
+        size = self._size_table[ti]
+        flits = self._flits_table[ti]
+        msg.size = size
         msg.send_time = now
 
-        if msg.src == msg.dst:
+        depart = self._src_free[src]
+        if depart < now:
+            depart = now
+        self._src_free[src] = depart + flits
+
+        if src == dst:
             # node-local transaction: no mesh traversal, but the message
             # still serializes through the node's NIC/bus, so a burst of
             # outgoing messages (e.g. an update fan-out) delays it
-            flits = self.flits_of(msg.size)
-            depart = max(now, self._src_free[msg.src])
-            self._src_free[msg.src] = depart + flits
-            deliver = depart + flits + cfg.local_hop_cycles
-            self.stats.count(msg, depart - now, local=True)
-            sim.at(deliver, self._deliver, msg)
-            return
+            deliver = depart + flits + self._local_hop
+            self._n_local += 1
+            queued = depart - now
+        else:
+            head_arrival = (depart + flits
+                            + self._switch_delay * self._hops[src][dst])
+            if self._jitter_rng is not None:
+                head_arrival += self._jitter_rng.randint(
+                    0, self._jitter_cycles)
+            # dst-side queuing is computed against the NIC's busy-until
+            # time *before* this message occupies it
+            dst_free = self._dst_free[dst]
+            deliver = (dst_free if dst_free > head_arrival
+                       else head_arrival) + flits
+            self._dst_free[dst] = deliver
+            queued = depart - now + (dst_free - head_arrival
+                                     if head_arrival < dst_free else 0)
 
-        flits = self.flits_of(msg.size)
-        depart = max(now, self._src_free[msg.src])
-        self._src_free[msg.src] = depart + flits
-        head_arrival = (depart + flits
-                        + cfg.switch_delay_cycles
-                        * self.topology.hops(msg.src, msg.dst))
-        if self._jitter_rng is not None:
-            head_arrival += self._jitter_rng.randint(
-                0, cfg.network_jitter_cycles)
-        deliver = max(head_arrival, self._dst_free[msg.dst]) + flits
-        self._dst_free[msg.dst] = deliver
-
-        queued = (depart - now) + (deliver - flits - head_arrival
-                                   if head_arrival < self._dst_free[msg.dst]
-                                   else 0)
-        self.stats.count(msg, max(0, queued), local=False)
+        self._n_messages += 1
+        self._n_bytes += size
+        self._type_counts[ti] += 1
+        self._type_bytes[ti] += size
+        self._pair_counts[src * self._num_nodes + dst] += 1
+        self._sent_counts[src] += 1
+        self._recv_counts[dst] += 1
+        self._n_contention += queued
         sim.at(deliver, self._deliver, msg)
 
     def _deliver(self, msg: Message) -> None:

@@ -68,6 +68,14 @@ _WORD_DATA = {
     MsgType.ATOMIC_REPLY,
 }
 
+#: MsgType members in definition order; ``mt.index`` is the position,
+#: so per-type tables can be plain lists (enum hashing is measurably
+#: expensive on the fabric's per-message path)
+MSG_TYPES = tuple(MsgType)
+for _i, _mt in enumerate(MSG_TYPES):
+    _mt.index = _i
+del _i, _mt
+
 _msg_ids = itertools.count()
 
 

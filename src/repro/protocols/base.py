@@ -33,7 +33,7 @@ from repro.memsys import (
 )
 from repro.memsys.cache import EvictReason
 from repro.memsys.writebuffer import PendingWrite
-from repro.network.messages import Message, MsgType
+from repro.network.messages import MSG_TYPES, Message, MsgType
 
 
 class PendingFill:
@@ -97,14 +97,17 @@ class NodeCtrl:
     #: MsgType -> unbound method name, defined by subclasses
     HANDLERS: Dict[MsgType, str] = {}
 
-    def _build_handlers(self) -> Dict[MsgType, Callable[[Message], None]]:
-        out = {}
+    def _build_handlers(self) -> List[Optional[Callable[[Message], None]]]:
+        # a flat list indexed by MsgType.index: the dispatch runs once
+        # per delivered message, and list indexing skips the enum hash
+        out: List[Optional[Callable[[Message], None]]] = (
+            [None] * len(MSG_TYPES))
         for mtype, name in self.HANDLERS.items():
-            out[mtype] = getattr(self, name)
+            out[mtype.index] = getattr(self, name)
         return out
 
     def receive(self, msg: Message) -> None:
-        handler = self._handlers.get(msg.mtype)
+        handler = self._handlers[msg.mtype.index]
         if handler is None:
             raise RuntimeError(
                 f"{type(self).__name__} has no handler for {msg.mtype}")

@@ -31,7 +31,10 @@ class Processor:
 
     __slots__ = ("sim", "node", "ctrl", "machine", "_gen", "done",
                  "done_time", "instructions", "spin_wakeups", "started",
-                 "failure", "_current_op", "_done_callbacks", "_race")
+                 "failure", "_current_op", "_done_callbacks", "_race",
+                 "_cont_none", "_spin_attempt_cb", "_spin_check_cb",
+                 "_spin_wake_cb", "_spin_addr", "_spin_word",
+                 "_spin_block", "_spin_pred")
 
     def __init__(self, sim, node: int, ctrl, program: ThreadProgram,
                  machine=None) -> None:
@@ -52,6 +55,18 @@ class Processor:
         self.failure: Optional[BaseException] = None
         self._current_op: Optional[Op] = None
         self._done_callbacks: list = []
+        # continuations bound once per processor, not once per
+        # instruction: the processor is blocking (single outstanding
+        # op), so one zero-arg resume and one set of spin-loop
+        # callbacks can be reused for the thread's whole life
+        self._cont_none = self._continue_none
+        self._spin_attempt_cb = self._spin_attempt
+        self._spin_check_cb = self._spin_check
+        self._spin_wake_cb = self._spin_wake
+        self._spin_addr = 0
+        self._spin_word = 0
+        self._spin_block = 0
+        self._spin_pred: Optional[Callable[[Any], bool]] = None
 
     @property
     def current_op(self) -> Optional[Op]:
@@ -99,6 +114,10 @@ class Processor:
         self.instructions += 1
         self._dispatch(op)
 
+    def _continue_none(self) -> None:
+        """Zero-arg continuation (Fence / Flush / Join completions)."""
+        self._resume(None)
+
     # ------------------------------------------------------------------
 
     def _dispatch(self, op: Op) -> None:
@@ -135,7 +154,7 @@ class Processor:
         elif cls is Fence:
             if race is not None:
                 race.on_fence(self.node)
-            self.ctrl.fence(lambda: self._resume(None))
+            self.ctrl.fence(self._cont_none)
         elif cls is CallHook:
             op.fn(self, self._resume)
         elif cls is Fork:
@@ -153,11 +172,11 @@ class Processor:
 
                 handle.on_done(joined)
             else:
-                op.handle.on_done(lambda: self._resume(None))
+                op.handle.on_done(self._cont_none)
         elif cls is Flush:
-            self.ctrl.flush_block(op.addr, lambda: self._resume(None))
+            self.ctrl.flush_block(op.addr, self._cont_none)
         elif cls is FlushCache:
-            self.ctrl.flush_all(lambda: self._resume(None))
+            self.ctrl.flush_all(self._cont_none)
         else:
             raise TypeError(f"thread yielded a non-Op: {op!r}")
 
@@ -166,40 +185,47 @@ class Processor:
     # ------------------------------------------------------------------
 
     def _spin(self, addr: int, pred: Callable[[Any], bool]) -> None:
+        # the processor is blocking, so at most one spin is active and
+        # its state can live on pre-bound slots instead of per-op
+        # closures (this loop runs once per lock hand-off / barrier
+        # episode re-check -- the hottest control path in the package)
+        cfg = self.ctrl.config
+        self._spin_addr = addr
+        self._spin_pred = pred
+        self._spin_word = cfg.word_of(addr)
+        self._spin_block = cfg.block_of(addr)
+        self._spin_attempt()
+
+    def _spin_attempt(self) -> None:
+        # a fully modeled read: classification, CU counter reset,
+        # possible miss + fill
+        self.ctrl.read(self._spin_addr, self._spin_check_cb)
+
+    def _spin_check(self, value: Any) -> None:
+        # Re-sample the freshest locally visible value: the read's
+        # return value was captured at issue time and an update may
+        # have landed during the 1-cycle hit latency.
         ctrl = self.ctrl
-        cfg = ctrl.config
-        word = cfg.word_of(addr)
-        block = cfg.block_of(addr)
+        block = self._spin_block
+        hit, fresh = ctrl.local_view(block, self._spin_word)
+        if hit:
+            value = fresh
+        if self._spin_pred(value):
+            if self._race is not None:
+                # a successful spin is an acquire on the word
+                self._race.on_spin_success(self.node, self._spin_word)
+            self._spin_pred = None
+            self._resume(value)
+            return
+        if ctrl.cache.contains(block):
+            # park until the local copy changes (update arrives,
+            # invalidation, or a new fill)
+            ctrl.cache.watch(block, self._spin_wake_cb)
+        else:
+            # copy vanished between fill and check; re-read (miss)
+            self.sim.schedule(1, self._spin_attempt_cb)
 
-        def attempt() -> None:
-            # a fully modeled read: classification, CU counter reset,
-            # possible miss + fill
-            ctrl.read(addr, check)
-
-        def check(value: Any) -> None:
-            # Re-sample the freshest locally visible value: the read's
-            # return value was captured at issue time and an update may
-            # have landed during the 1-cycle hit latency.
-            hit, fresh = ctrl.local_view(block, word)
-            if hit:
-                value = fresh
-            if pred(value):
-                if self._race is not None:
-                    # a successful spin is an acquire on the word
-                    self._race.on_spin_success(self.node, word)
-                self._resume(value)
-                return
-            if ctrl.cache.contains(block):
-                # park until the local copy changes (update arrives,
-                # invalidation, or a new fill)
-                ctrl.cache.watch(block, wake)
-            else:
-                # copy vanished between fill and check; re-read (miss)
-                self.sim.schedule(1, attempt)
-
-        def wake() -> None:
-            self.spin_wakeups += 1
-            # one spin-loop iteration to notice the change
-            self.sim.schedule(1, attempt)
-
-        attempt()
+    def _spin_wake(self) -> None:
+        self.spin_wakeups += 1
+        # one spin-loop iteration to notice the change
+        self.sim.schedule(1, self._spin_attempt_cb)

@@ -162,6 +162,80 @@ class TestRunControl:
         sim.run()
         assert failures == [True]
 
+    def test_until_event_exactly_at_horizon_fires(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(10, log.append, "at-horizon")
+        sim.schedule(11, log.append, "past")
+        sim.run(until=10)
+        assert log == ["at-horizon"]
+        assert sim.now == 10
+
+    def test_until_preserves_seq_order_past_horizon(self):
+        """The horizon check peeks the queue head; events past ``until``
+        must survive untouched and keep their same-cycle seq tie-break
+        when the run resumes."""
+        sim = Simulator()
+        log = []
+        sim.schedule(3, log.append, "early")
+        for i in range(8):                       # same cycle, seq-ordered
+            sim.schedule(20, log.append, i)
+        sim.run(until=10)
+        assert log == ["early"]
+        assert sim.now == 10
+        assert sim.pending_events == 8
+        sim.run()
+        assert log == ["early"] + list(range(8))
+
+    def test_until_with_empty_horizon_window(self):
+        sim = Simulator()
+        sim.schedule(50, lambda: None)
+        sim.run(until=10)
+        assert sim.now == 10
+        assert sim.events_processed == 0
+        assert sim.pending_events == 1
+
+    def test_step_and_run_agree_on_schedule(self):
+        """step()-ing a schedule to exhaustion matches run() exactly:
+        same events_processed, same final clock, same firing order."""
+        def build():
+            sim = Simulator()
+            log = []
+            for i in range(30):
+                sim.schedule((i * 13) % 7, log.append, i)
+
+            def chain(depth=3):
+                if depth:
+                    sim.schedule(2, chain, depth - 1)
+
+            sim.schedule(1, chain)
+            return sim, log
+
+        ran, ran_log = build()
+        ran.run()
+        stepped, stepped_log = build()
+        while stepped.step():
+            pass
+        assert stepped_log == ran_log
+        assert stepped.events_processed == ran.events_processed
+        assert stepped.now == ran.now
+
+    def test_run_fast_path_honours_stop(self):
+        """The no-horizon/no-budget fast path must still stop after the
+        current event when a callback calls stop()."""
+        sim = Simulator()
+        log = []
+
+        def first():
+            log.append("first")
+            sim.stop()
+
+        sim.schedule(1, first)
+        sim.schedule(2, log.append, "second")
+        sim.run()
+        assert log == ["first"]
+        assert sim.pending_events == 1
+
     def test_events_processed_counter(self):
         sim = Simulator()
         for i in range(5):
