@@ -28,7 +28,7 @@ WorkloadFn = Callable[[RunSpec], Tuple[RunResult, Dict[str, float]]]
 _REGISTRY: Dict[str, WorkloadFn] = {}
 
 #: modules that register additional workloads as an import side effect
-_PROVIDERS = ("repro.experiments.check",)
+_PROVIDERS = ("repro.experiments.check", "repro.experiments.modelcheck")
 
 
 def register_workload(name: str) -> Callable[[WorkloadFn], WorkloadFn]:

@@ -30,6 +30,19 @@ Rules (per run of :func:`run_lint`):
     ever satisfies -- the thread would spin forever even under
     instantly-visible memory.
 
+``lint:double-acquire`` (L5)
+    A node acquires the same lock twice (two ``spin-ok`` events on the
+    same release word) with no release action in between.  A release
+    action is a plain store by that node to any release word (ticket
+    handoff, flag locks) or an atomic by that node on a sync or release
+    word (MCS tail-CAS, test-and-set loops).
+
+``lint:acquire-without-release`` (L6)
+    A node's *last* acquire of a lock is never followed by any release
+    action by that node, nor by any store to the acquired word by
+    anyone (lock handoff on the node's behalf): the critical section
+    never ends and every later contender would hang.
+
 Violations carry node and word/block; there are no cycles (nothing
 ran).
 """
@@ -303,6 +316,50 @@ def run_lint(memmap, programs, fuel: int = 1_000_000,
                     f"Flush of a block no other node ever accesses"
                     f"{_label(memmap, ev.word)}: pure overhead",
                     node=ev.node, word=ev.word, block=ev.block)
+
+    # --- lock-discipline scan (L5, L6) --------------------------------
+    # acquire = spin-ok on a release word; release action = plain store
+    # by the holder to any release word (ticket/flag handoff) or an
+    # atomic by the holder on a sync/release word (MCS tail-CAS,
+    # test-and-set).  In the recorder's sequential memory an acquire
+    # spin succeeds exactly when the lock is actually free, so neither
+    # rule fires on healthy retry loops.
+
+    def _is_release_action(ev: LintEvent) -> bool:
+        if ev.kind == "write":
+            return ev.word in releases
+        if ev.kind == "atomic":
+            return ev.word in sync or ev.word in releases
+        return False
+
+    held: Dict[int, Set[int]] = {}
+    last_acq: Dict[Tuple[int, int], int] = {}   # (node, word) -> index
+    for i, ev in enumerate(events):
+        n = ev.node
+        if ev.kind == "spin-ok" and ev.word in releases:
+            if ev.word in held.setdefault(n, set()):
+                report.violation(
+                    "lint", "double-acquire",
+                    f"node {n} re-acquires lock word "
+                    f"{ev.word:#x}{_label(memmap, ev.word)} with no "
+                    f"release action since its previous acquire",
+                    node=n, word=ev.word, block=ev.block)
+            held[n].add(ev.word)
+            last_acq[(n, ev.word)] = i
+        elif _is_release_action(ev):
+            held.get(n, set()).clear()
+    for (n, w), i in last_acq.items():
+        rest = events[i + 1:]
+        if any(ev.node == n and _is_release_action(ev) for ev in rest):
+            continue
+        if any(ev.kind == "write" and ev.word == w for ev in rest):
+            continue            # someone handed the lock onward for n
+        report.violation(
+            "lint", "acquire-without-release",
+            f"node {n} acquires lock word {w:#x}{_label(memmap, w)} "
+            f"and never releases it (no later release action by node "
+            f"{n}, and no store to the word by anyone)",
+            node=n, word=w, block=config.block_of(w))
 
     # --- spins nothing satisfies (L4) ---------------------------------
     for node, word in blocked:

@@ -54,6 +54,7 @@ class Protocol(enum.Enum):
             "u": cls.PU, "pu": cls.PU, "update": cls.PU, "pure-update": cls.PU,
             "c": cls.CU, "cu": cls.CU, "competitive": cls.CU,
             "competitive-update": cls.CU,
+            "h": cls.HYBRID, "hy": cls.HYBRID, "hybrid": cls.HYBRID,
         }
         try:
             return aliases[t]

@@ -1,12 +1,14 @@
 """Discrete-event simulation kernel (subsystem S1)."""
 
 from repro.engine.simulator import (
-    DeadlockError, SimulationError, Simulator, StuckThread,
+    ControlledSimulator, DeadlockError, SimulationError, Simulator,
+    StuckThread,
 )
 from repro.engine.trace import Tracer, NullTracer
 
 __all__ = [
     "Simulator",
+    "ControlledSimulator",
     "SimulationError",
     "DeadlockError",
     "StuckThread",

@@ -174,3 +174,77 @@ class Simulator:
     def peek_time(self) -> Optional[int]:
         """Time of the next event, or None if the queue is empty."""
         return self._queue[0][0] if self._queue else None
+
+
+class ControlledSimulator(Simulator):
+    """A :class:`Simulator` whose same-cycle event order is a choice.
+
+    The stock simulator resolves same-cycle ties by scheduling order
+    (``seq``), which makes every run deterministic -- and blind to the
+    interleavings a real machine could exhibit.  This subclass exposes
+    that tie-break as an explicit *choice point*: whenever two or more
+    events are ready at the minimum time, ``chooser(candidates)`` picks
+    which one fires next; the rest are pushed back (keeping their seq
+    numbers) and re-offered -- possibly alongside events the chosen
+    handler just scheduled for the same cycle.
+
+    ``candidates`` is the seq-ordered list of ready event tuples
+    ``(time, seq, fn, args)``.  A ``None`` chooser (or one that always
+    answers 0) reproduces the stock simulator exactly.  Every decision
+    is appended to ``choice_log`` as ``(n_candidates, chosen_index)``,
+    which is precisely the schedule the model checker replays.
+    """
+
+    __slots__ = ("chooser", "choice_log")
+
+    def __init__(self, chooser: Optional[
+            Callable[[List[tuple]], int]] = None,
+            max_events: Optional[int] = None) -> None:
+        super().__init__(max_events=max_events)
+        self.chooser = chooser
+        self.choice_log: List[Tuple[int, int]] = []
+
+    def _pop_controlled(self) -> tuple:
+        """Pop the next event, consulting the chooser on a tie."""
+        queue = self._queue
+        when = queue[0][0]
+        batch = [heapq.heappop(queue)]
+        while queue and queue[0][0] == when:
+            batch.append(heapq.heappop(queue))
+        if len(batch) == 1:
+            return batch[0]
+        idx = 0 if self.chooser is None else self.chooser(batch)
+        if not 0 <= idx < len(batch):
+            raise SimulationError(
+                f"chooser returned {idx} for {len(batch)} candidates")
+        self.choice_log.append((len(batch), idx))
+        chosen = batch.pop(idx)
+        for event in batch:
+            heapq.heappush(queue, event)
+        return chosen
+
+    def run(self, until: Optional[int] = None) -> None:
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        self._stopped = False
+        try:
+            while self._queue and not self._stopped:
+                if until is not None and self._queue[0][0] > until:
+                    self.now = until
+                    return
+                when, _seq, fn, args = self._pop_controlled()
+                self.now = when
+                self._count_event()
+                fn(*args)
+        finally:
+            self._running = False
+
+    def step(self) -> bool:
+        if self._stopped or not self._queue:
+            return False
+        when, _seq, fn, args = self._pop_controlled()
+        self.now = when
+        self._count_event()
+        fn(*args)
+        return True

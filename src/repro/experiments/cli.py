@@ -96,6 +96,11 @@ def main(argv: List[str] = None) -> int:
         # suite instead of regenerating figures
         from repro.experiments.check import main as check_main
         return check_main(argv[1:])
+    if argv and argv[0] == "modelcheck":
+        # model-checker subcommand: exhaustive litmus exploration /
+        # counterexample replay instead of regenerating figures
+        from repro.experiments.modelcheck import main as mc_main
+        return mc_main(argv[1:])
     args = build_parser().parse_args(argv)
 
     wanted = args.figures

@@ -1,0 +1,53 @@
+"""Exhaustive protocol model checking (subsystem S17).
+
+Small litmus programs + controlled same-cycle scheduling + canonical
+state hashing = every reachable interleaving of WI / PU / CU / HYBRID
+on 2-3 node configurations, with per-state invariants checked between
+events and replayable minimized counterexamples on violation.  See
+``docs/modelcheck.md``.
+"""
+
+from repro.modelcheck.explorer import (
+    ExploreResult, ScheduleDivergence, Violation, explore, run_schedule,
+)
+from repro.modelcheck.invariants import (
+    InvariantViolation, check_state_invariants,
+)
+from repro.modelcheck.litmus import (
+    MODEL_CHECK_PROTOCOLS, LitmusProgram, PROGRAMS, final_value,
+    get_program, litmus_config,
+)
+from repro.modelcheck.mutations import MUTATIONS, Mutation, get_mutation
+from repro.modelcheck.schedule import (
+    SCHEDULE_FORMAT, counterexample_dict, load_schedule, replay,
+    replay_file, save_counterexample,
+)
+from repro.modelcheck.state import Symmetry, Unencodable, canonical_key
+
+__all__ = [
+    "ExploreResult",
+    "InvariantViolation",
+    "LitmusProgram",
+    "MODEL_CHECK_PROTOCOLS",
+    "MUTATIONS",
+    "Mutation",
+    "PROGRAMS",
+    "SCHEDULE_FORMAT",
+    "ScheduleDivergence",
+    "Symmetry",
+    "Unencodable",
+    "Violation",
+    "canonical_key",
+    "check_state_invariants",
+    "counterexample_dict",
+    "explore",
+    "final_value",
+    "get_mutation",
+    "get_program",
+    "litmus_config",
+    "load_schedule",
+    "replay",
+    "replay_file",
+    "run_schedule",
+    "save_counterexample",
+]

@@ -1,0 +1,337 @@
+"""Stateless-search exploration of all reachable interleavings.
+
+Python generators cannot be snapshotted, so the explorer is *replay
+based*: every schedule is executed from scratch on a fresh machine,
+driven by a :class:`~repro.engine.ControlledSimulator` whose chooser
+follows a forced-choice prefix and defaults to index 0 beyond it.  Each
+run records, at every choice point, how many candidates were ready;
+afterwards the untaken branches (``prefix + (0,)*k + (j,)`` for every
+``j >= 1``) are pushed on the DFS stack.  The schedule space of a
+terminating litmus program is a finite tree, so this enumerates every
+reachable interleaving even with no pruning at all.
+
+Two reductions keep it tractable:
+
+* **visited-state dedup** -- at every choice point *beyond* the forced
+  prefix the canonical state key (see :mod:`repro.modelcheck.state`) is
+  looked up in a visited set; a hit abandons the run and suppresses
+  branching at and beyond the pruned position (the first visitor
+  already explored every continuation of that state).  The key at
+  ``pos == len(prefix)`` is the branch state itself, which the parent
+  run already recorded -- it is *not* consulted, only (re)inserted,
+  otherwise every branch would self-prune.
+* **symmetry reduction** -- the canonical key is minimized over the
+  litmus program's declared node/word relabellings, merging
+  mirror-image states.
+
+Between every two events the per-state invariants run and the PR-1
+checker report is polled; at end of run ``machine.finish()`` (deadlock
+attribution + sanitizer finalization), quiescence, the global
+directory/cache agreement check and the program's own final assertion
+all fire.  Any failure is classified into a :class:`Violation` and the
+triggering schedule is greedily minimized (each forced choice is
+re-tried as 0; re-runs that still produce the same violation kind keep
+the simplification).
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.engine import ControlledSimulator, DeadlockError, SimulationError
+from repro.modelcheck.invariants import (
+    InvariantViolation, check_state_invariants,
+)
+from repro.modelcheck.litmus import LitmusProgram
+from repro.modelcheck.state import Symmetry, canonical_key
+
+
+class _Pruned(Exception):
+    """Internal: the run reached an already-visited state."""
+
+    def __init__(self, pos: int) -> None:
+        self.pos = pos
+
+
+class ScheduleDivergence(Exception):
+    """A forced choice was out of range for the candidate batch -- the
+    schedule does not belong to this program/config/code version."""
+
+
+@dataclass(frozen=True)
+class Violation:
+    kind: str      # "deadlock" | "assertion" | "invariant:<rule>" | ...
+    detail: str
+
+
+@dataclass
+class ExploreResult:
+    program: str
+    protocol: str
+    mutation: Optional[str]
+    schedules: int           # full run attempts (incl. pruned)
+    states: int              # distinct canonical states seen
+    choice_points: int       # longest choice sequence observed
+    events: int              # total simulated events across all runs
+    dedup_hits: int
+    unhashed: int            # states the encoder could not fingerprint
+    violation: Optional[Violation]
+    choices: Optional[Tuple[int, ...]]   # minimized counterexample
+    complete: bool           # exhausted the schedule tree within budget
+
+    @property
+    def clean(self) -> bool:
+        return self.violation is None
+
+
+class _RecordingGen:
+    """Wraps a thread generator so every resumed value lands in an
+    externally owned history list -- the only part of a generator's
+    hidden state the fingerprint needs (programs are deterministic
+    functions of their resumed values)."""
+
+    __slots__ = ("_gen", "history")
+
+    def __init__(self, gen, history: list) -> None:
+        self._gen = gen
+        self.history = history
+
+    def send(self, value):
+        self.history.append(value)
+        return self._gen.send(value)
+
+
+def _build(litmus: LitmusProgram, config, max_events: int):
+    from repro.runtime.machine import Machine
+
+    sim = ControlledSimulator(max_events=max_events)
+    machine = Machine(config, sim=sim)
+    built = litmus.build(machine)
+    histories: Dict[int, list] = {}
+    for proc in machine.processors:
+        hist: list = []
+        histories[proc.node] = hist
+        proc._gen = _RecordingGen(proc._gen, hist)
+    syms = [Symmetry(config, nm, wm) for nm, wm in built.symmetries]
+    return machine, built, histories, syms
+
+
+def _step(sim: ControlledSimulator,
+          on_event: Optional[Callable] = None) -> bool:
+    """One event, with an optional pre-execution hook (replay traces
+    print the event before it runs, so the violating transition is the
+    last line of the trace)."""
+    if sim._stopped or not sim._queue:
+        return False
+    when, _seq, fn, args = sim._pop_controlled()
+    sim.now = when
+    sim._count_event()
+    if on_event is not None:
+        on_event(when, fn, args)
+    fn(*args)
+    return True
+
+
+def _run(machine, built, histories, syms,
+         prefix: Tuple[int, ...],
+         visited: Optional[set],
+         stats: Dict[str, int],
+         on_event: Optional[Callable] = None,
+         on_choice: Optional[Callable] = None):
+    """Execute one schedule.  Returns (trace, violation, pruned_at,
+    events_processed)."""
+    from repro.checkers import CheckerError
+
+    sim: ControlledSimulator = machine.sim
+    trace: List[int] = []
+
+    def chooser(batch):
+        pos = len(trace)
+        trace.append(len(batch))
+        if pos < len(prefix):
+            choice = prefix[pos]
+            if not 0 <= choice < len(batch):
+                raise ScheduleDivergence(
+                    f"choice point {pos}: schedule says {choice} but "
+                    f"only {len(batch)} events are ready")
+        else:
+            choice = 0
+            if visited is not None:
+                key = canonical_key(
+                    machine, list(sim._queue) + batch, syms, histories)
+                if key is None:
+                    stats["unhashed"] += 1
+                elif pos > len(prefix):
+                    if key in visited:
+                        stats["dedup_hits"] += 1
+                        raise _Pruned(pos)
+                    visited.add(key)
+                else:
+                    # the branch state itself: the parent run already
+                    # visited it -- record, never prune
+                    visited.add(key)
+        if on_choice is not None:
+            on_choice(pos, len(batch), choice)
+        return choice
+
+    sim.chooser = chooser
+    violation: Optional[Violation] = None
+    pruned_at: Optional[int] = None
+    try:
+        machine.prepare()
+        while _step(sim, on_event):
+            report = machine.checker_report
+            if report is not None and report.violations:
+                v = report.violations[0]
+                violation = Violation(f"checker:{v.rule}", str(v))
+                break
+            check_state_invariants(machine)
+        if violation is None:
+            machine.finish()
+            if not machine.quiesced():
+                violation = Violation(
+                    "quiescence",
+                    "event queue drained with in-flight work "
+                    "(buffered writes, uncollected acks, or open "
+                    "transactions) still outstanding")
+            else:
+                machine.check_coherence_invariants()
+                built.final_check(machine)
+    except _Pruned as exc:
+        pruned_at = exc.pos
+    except DeadlockError as exc:
+        violation = Violation("deadlock", str(exc))
+    except CheckerError as exc:
+        rule = (exc.report.violations[0].rule
+                if exc.report.violations else "unknown")
+        violation = Violation(f"checker:{rule}", str(exc))
+    except InvariantViolation as exc:
+        violation = Violation(f"invariant:{exc.rule}", exc.detail)
+    except AssertionError as exc:
+        violation = Violation("assertion", str(exc))
+    except SimulationError as exc:
+        violation = Violation("livelock", str(exc))
+    except RuntimeError as exc:
+        violation = Violation("protocol-error", str(exc))
+    return trace, violation, pruned_at, sim.events_processed
+
+
+def _full_choices(prefix: Tuple[int, ...],
+                  trace: List[int]) -> Tuple[int, ...]:
+    return tuple(prefix[i] if i < len(prefix) else 0
+                 for i in range(len(trace)))
+
+
+def run_schedule(litmus: LitmusProgram, config,
+                 choices: Tuple[int, ...], max_events: int = 50_000,
+                 on_event: Optional[Callable] = None,
+                 on_choice: Optional[Callable] = None):
+    """Run one explicit schedule (no dedup).  Returns (machine,
+    violation)."""
+    machine, built, histories, syms = _build(litmus, config, max_events)
+    _trace, violation, _pruned, _ev = _run(
+        machine, built, histories, syms, tuple(choices), None,
+        {"dedup_hits": 0, "unhashed": 0},
+        on_event=on_event, on_choice=on_choice)
+    return machine, violation
+
+
+def _minimize(litmus: LitmusProgram, config,
+              choices: Tuple[int, ...], kind: str,
+              max_events: int, budget: int = 400) -> Tuple[int, ...]:
+    """Greedy schedule minimization: flip forced choices back to the
+    default 0 wherever the same violation kind still reproduces."""
+    best = list(choices)
+    while best and best[-1] == 0:
+        best.pop()
+    tries = 0
+    improved = True
+    while improved and tries < budget:
+        improved = False
+        for i in range(len(best)):
+            if best[i] == 0:
+                continue
+            cand = best[:i] + [0] + best[i + 1:]
+            while cand and cand[-1] == 0:
+                cand.pop()
+            tries += 1
+            try:
+                _m, viol = run_schedule(litmus, config, tuple(cand),
+                                        max_events)
+            except ScheduleDivergence:
+                viol = None
+            if viol is not None and viol.kind == kind:
+                best = cand
+                improved = True
+                break
+            if tries >= budget:
+                break
+    return tuple(best)
+
+
+def explore(litmus: LitmusProgram,
+            protocol=None, config=None,
+            mutation: Optional[str] = None,
+            max_schedules: int = 20_000,
+            max_events: int = 50_000,
+            dedup: bool = True,
+            minimize: bool = True) -> ExploreResult:
+    """Exhaustively explore one (program, protocol) pair.
+
+    Stops at the first violation (returning its minimized schedule) or
+    when the schedule tree is exhausted; ``complete`` is False when the
+    ``max_schedules`` budget ran out first.
+    """
+    from repro.modelcheck.mutations import get_mutation
+
+    if config is None:
+        if protocol is None:
+            raise ValueError("need protocol or config")
+        config = litmus.config(protocol)
+    mut_ctx = (get_mutation(mutation).activate()
+               if mutation else nullcontext())
+
+    visited: Optional[set] = set() if dedup else None
+    stats = {"dedup_hits": 0, "unhashed": 0}
+    stack: List[Tuple[int, ...]] = [()]
+    schedules = 0
+    events_total = 0
+    choice_points = 0
+    complete = True
+
+    def result(violation, choices):
+        return ExploreResult(
+            program=litmus.name, protocol=config.protocol.value,
+            mutation=mutation, schedules=schedules,
+            states=len(visited) if visited is not None else 0,
+            choice_points=choice_points, events=events_total,
+            dedup_hits=stats["dedup_hits"], unhashed=stats["unhashed"],
+            violation=violation, choices=choices, complete=complete)
+
+    with mut_ctx:
+        while stack:
+            if schedules >= max_schedules:
+                complete = False
+                break
+            prefix = stack.pop()
+            machine, built, histories, syms = _build(
+                litmus, config, max_events)
+            trace, violation, pruned_at, events = _run(
+                machine, built, histories, syms, prefix, visited, stats)
+            schedules += 1
+            events_total += events
+            choice_points = max(choice_points, len(trace))
+            if violation is not None:
+                complete = False
+                choices = _full_choices(prefix, trace)
+                if minimize:
+                    choices = _minimize(litmus, config, choices,
+                                        violation.kind, max_events)
+                return result(violation, choices)
+            limit = len(trace) if pruned_at is None else pruned_at
+            for i in range(len(prefix), limit):
+                for j in range(1, trace[i]):
+                    stack.append(prefix + (0,) * (i - len(prefix)) + (j,))
+    return result(None, None)

@@ -1,0 +1,373 @@
+"""The bundled litmus-program suite.
+
+Each :class:`LitmusProgram` is a tiny concurrent program (2-3 nodes,
+1-2 blocks, 1-2 words) with:
+
+* a small machine configuration tuned for tractable exploration
+  (shallow memory/network latencies so same-cycle ties -- the model
+  checker's choice points -- actually occur);
+* a ``build(machine)`` hook that allocates its words, spawns its
+  threads, and returns the program's final-state check plus its
+  declared symmetries (node/word relabellings under which the program
+  is invariant -- used for symmetry reduction);
+* in-program assertions (raised straight from the thread generators)
+  for properties that per-state invariants cannot see, e.g. "my own
+  sub-word byte survived".
+
+Under ``Protocol.HYBRID`` the builders tag their allocations with
+explicit per-block protocols (``memmap.use_protocol``), so hybrid runs
+genuinely mix WI- and update-managed blocks instead of degenerating to
+the ``hybrid_default``.
+
+Spin predicates are module-level functions on purpose: closure-free
+callables keep the state encoder's fingerprints exact.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from typing import Callable, Dict, List, Tuple
+
+from repro.config import MachineConfig, Protocol
+from repro.isa.ops import (
+    Fence, FetchAdd, FetchStore, Read, SpinUntil, Write,
+)
+from repro.memsys.cache import CacheState
+
+#: the protocols every litmus program is explored under
+MODEL_CHECK_PROTOCOLS = (Protocol.WI, Protocol.PU, Protocol.CU,
+                         Protocol.HYBRID)
+
+#: (node_map, word_map) pairs; word maps are keyed by address
+SymmetrySpec = Tuple[Dict[int, int], Dict[int, int]]
+
+
+class Built:
+    """What ``build(machine)`` hands back to the explorer."""
+
+    __slots__ = ("final_check", "symmetries")
+
+    def __init__(self, final_check: Callable,
+                 symmetries: List[SymmetrySpec]) -> None:
+        self.final_check = final_check
+        self.symmetries = symmetries
+
+
+class LitmusProgram:
+    def __init__(self, name: str, procs: int, description: str,
+                 builder: Callable, config_overrides=None) -> None:
+        self.name = name
+        self.procs = procs
+        self.description = description
+        self._builder = builder
+        self.config_overrides = dict(config_overrides or {})
+
+    def config(self, protocol: Protocol) -> MachineConfig:
+        return litmus_config(protocol, self.procs,
+                             **self.config_overrides)
+
+    def build(self, machine) -> Built:
+        return self._builder(machine)
+
+
+def litmus_config(protocol: Protocol, procs: int,
+                  **overrides) -> MachineConfig:
+    """A deliberately small and shallow machine: 8-byte blocks, 2-line
+    caches, single-cycle directory and network hops.  Shallow latencies
+    maximize same-cycle ties, which is where the interleavings live."""
+    base = dict(
+        num_procs=procs,
+        protocol=protocol,
+        cache_size_bytes=16,
+        block_size_bytes=8,
+        word_size_bytes=4,
+        cache_associativity=1,
+        write_buffer_entries=2,
+        mem_first_word_cycles=2,
+        mem_per_word_cycles=1,
+        dir_access_cycles=1,
+        prop_issue_cycles=1,
+        switch_delay_cycles=1,
+        flit_bytes=8,
+        ctrl_msg_bytes=8,
+        header_bytes=0,
+        local_hop_cycles=1,
+        update_threshold=2,
+        retain_private=True,
+        enable_sanitizer=True,
+        enable_race_detector=False,
+        checkers_strict=True,
+        network_jitter_cycles=0,
+    )
+    base.update(overrides)
+    return MachineConfig(**base)
+
+
+def final_value(machine, addr: int):
+    """The final value of ``addr``: a dirty cached copy wins, else the
+    home memory module."""
+    cfg = machine.config
+    word = cfg.word_of(addr)
+    block = cfg.block_of(addr)
+    for ctrl in machine.controllers:
+        line = ctrl.cache.peek(block)
+        if line is not None and line.state in (CacheState.MODIFIED,
+                                               CacheState.RETAINED):
+            return line.data.get(word, 0)
+    home = machine.memmap.home_of(addr)
+    return machine.controllers[home].mem.read_word(word)
+
+
+def _eq0(v) -> bool:
+    return v == 0
+
+
+def _eq1(v) -> bool:
+    return v == 1
+
+
+def _tag(machine, protocol: Protocol):
+    """Per-block protocol tag, active only under HYBRID."""
+    if machine.config.protocol is Protocol.HYBRID:
+        return machine.memmap.use_protocol(protocol)
+    return nullcontext()
+
+
+# ----------------------------------------------------------------------
+# the programs
+# ----------------------------------------------------------------------
+
+def _build_sb(machine) -> Built:
+    mm = machine.memmap
+    with _tag(machine, Protocol.CU):
+        x = mm.alloc_word(0, "x")
+        y = mm.alloc_word(1, "y")
+    res: Dict[str, int] = {}
+
+    def side(first, second, key):
+        def prog(node):
+            yield Write(first, 1)
+            yield Fence()
+            res[key] = yield Read(second)
+        return prog
+
+    machine.spawn(0, side(x, y, "r0")(0))
+    machine.spawn(1, side(y, x, "r1")(1))
+
+    def final(m) -> None:
+        if res.get("r0") == 0 and res.get("r1") == 0:
+            raise AssertionError(
+                "store-buffer: both post-fence reads returned 0 "
+                "(fences did not order the stores)")
+        for addr, name in ((x, "x"), (y, "y")):
+            got = final_value(m, addr)
+            if got != 1:
+                raise AssertionError(
+                    f"store-buffer: final {name}={got}, want 1")
+
+    return Built(final, [({0: 1, 1: 0}, {x: y, y: x})])
+
+
+def _build_mp(machine) -> Built:
+    mm = machine.memmap
+    with _tag(machine, Protocol.PU):
+        data = mm.alloc_word(0, "data")
+    with _tag(machine, Protocol.WI):
+        flag = mm.alloc_word(0, "flag")
+
+    def producer(node):
+        yield Write(data, 42)
+        yield Fence()
+        yield Write(flag, 1)
+
+    def consumer(node):
+        yield SpinUntil(flag, _eq1)
+        got = yield Read(data)
+        if got != 42:
+            raise AssertionError(
+                f"mp: consumer {node} saw flag=1 but data={got}")
+
+    machine.spawn(0, producer(0))
+    machine.spawn(1, consumer(1))
+    machine.spawn(2, consumer(2))
+
+    def final(m) -> None:
+        if final_value(m, flag) != 1:
+            raise AssertionError("mp: final flag != 1")
+        if final_value(m, data) != 42:
+            raise AssertionError("mp: final data != 42")
+
+    ident = {data: data, flag: flag}
+    return Built(final, [({0: 0, 1: 2, 2: 1}, ident)])
+
+
+def _build_lock(machine) -> Built:
+    mm = machine.memmap
+    with _tag(machine, Protocol.CU):
+        lock = mm.alloc_word(0, "lock")
+    with _tag(machine, Protocol.WI):
+        count = mm.alloc_word(0, "count")
+    mm.mark_sync(lock)
+    mm.mark_release(lock, _eq0)
+
+    def contender(node):
+        # test-and-test-and-set acquire, unlocked critical section,
+        # ordinary-store release
+        while True:
+            yield SpinUntil(lock, _eq0)
+            old = yield FetchStore(lock, 1)
+            if old == 0:
+                break
+        v = yield Read(count)
+        yield Write(count, v + 1)
+        yield Fence()
+        yield Write(lock, 0)
+        yield Fence()
+
+    machine.spawn(1, contender(1))
+    machine.spawn(2, contender(2))
+
+    def final(m) -> None:
+        got = final_value(m, count)
+        if got != 2:
+            raise AssertionError(
+                f"lock: count={got} after 2 critical sections, want 2")
+        if final_value(m, lock) != 0:
+            raise AssertionError("lock: still held at termination")
+
+    ident = {lock: lock, count: count}
+    return Built(final, [({0: 0, 1: 2, 2: 1}, ident)])
+
+
+def _build_barrier(machine) -> Built:
+    mm = machine.memmap
+    with _tag(machine, Protocol.WI):
+        count = mm.alloc_word(0, "count")
+    with _tag(machine, Protocol.PU):
+        sense = mm.alloc_word(0, "sense")
+    mm.mark_sync(count)
+    arrivals = machine.config.num_procs
+
+    def arriver(node):
+        old = yield FetchAdd(count, 1)
+        if old == arrivals - 1:
+            # last arrival flips the sense flag
+            yield Fence()
+            yield Write(sense, 1)
+            yield Fence()
+        else:
+            yield SpinUntil(sense, _eq1)
+
+    for n in range(arrivals):
+        machine.spawn(n, arriver(n))
+
+    def final(m) -> None:
+        got = final_value(m, count)
+        if got != arrivals:
+            raise AssertionError(
+                f"barrier: arrival count={got}, want {arrivals}")
+        if final_value(m, sense) != 1:
+            raise AssertionError("barrier: sense never flipped")
+
+    ident = {count: count, sense: sense}
+    return Built(final, [({0: 0, 1: 2, 2: 1}, ident)])
+
+
+def _build_evict(machine) -> Built:
+    # single-line caches: reading y evicts the dirty copy of x, racing
+    # the writeback against the other node's fetch of x
+    mm = machine.memmap
+    with _tag(machine, Protocol.PU):
+        x = mm.alloc_word(0, "x")
+    with _tag(machine, Protocol.WI):
+        y = mm.alloc_word(1, "y")
+
+    def writer(node):
+        yield Write(x, 1)
+        yield Fence()
+        yield Read(y)
+        yield Fence()
+
+    def watcher(node):
+        yield SpinUntil(x, _eq1)
+
+    machine.spawn(0, writer(0))
+    machine.spawn(1, watcher(1))
+
+    def final(m) -> None:
+        if final_value(m, x) != 1:
+            raise AssertionError("evict: write to x lost")
+        if final_value(m, y) != 0:
+            raise AssertionError("evict: y was never written")
+
+    return Built(final, [])
+
+
+def _build_subword(machine) -> Built:
+    # both nodes byte-write disjoint halves of ONE word; masked merges
+    # must preserve the other node's half at every hop
+    mm = machine.memmap
+    with _tag(machine, Protocol.CU):
+        w = mm.alloc_word(0, "w")
+
+    def mixer(v1, v2, mask):
+        def prog(node):
+            yield Read(w)
+            yield Write(w, v1, mask)
+            yield Write(w, v2, mask)
+            yield Fence()
+            got = yield Read(w)
+            if got & mask != v2 & mask:
+                raise AssertionError(
+                    f"subword: node {node} lost its own bits: read "
+                    f"{got:#06x}, wants {v2 & mask:#06x} under "
+                    f"{mask:#06x}")
+        return prog
+
+    machine.spawn(0, mixer(0x11, 0x22, 0x00FF)(0))
+    machine.spawn(1, mixer(0x1100, 0x2200, 0xFF00)(1))
+
+    def final(m) -> None:
+        got = final_value(m, w)
+        if got != 0x2222:
+            raise AssertionError(
+                f"subword: final word {got:#06x}, want 0x2222")
+
+    return Built(final, [])
+
+
+PROGRAMS: Dict[str, LitmusProgram] = {p.name: p for p in (
+    LitmusProgram(
+        "sb", 2,
+        "store buffering: fenced cross-stores, both-zero forbidden",
+        _build_sb),
+    LitmusProgram(
+        "mp", 3,
+        "message passing: fenced data+flag publish, two spinning readers",
+        _build_mp),
+    LitmusProgram(
+        "lock", 3,
+        "TTAS lock handoff: two contenders increment under the lock",
+        _build_lock),
+    LitmusProgram(
+        "barrier", 3,
+        "sense-reversing barrier arrival via fetch-and-add",
+        _build_barrier),
+    LitmusProgram(
+        "evict", 2,
+        "eviction race: dirty writeback vs remote fetch, 1-line cache",
+        _build_evict, config_overrides={"cache_size_bytes": 8}),
+    LitmusProgram(
+        "subword", 2,
+        "sub-word merge: disjoint byte stores to one word",
+        _build_subword),
+)}
+
+
+def get_program(name: str) -> LitmusProgram:
+    try:
+        return PROGRAMS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown litmus program {name!r}; "
+            f"have {', '.join(sorted(PROGRAMS))}") from None

@@ -1,0 +1,135 @@
+"""Seeded protocol bugs for validating the model checker.
+
+Each mutation is a context manager that monkey-patches one protocol
+class method with a subtly broken variant -- the kind of transient-state
+bug the exhaustive search is meant to catch.  Every mutation declares
+the litmus program and protocol it targets; ``--mutants`` explores
+exactly those combinations and demands a counterexample from each.
+
+The patches swap *class* attributes, so they must be active while the
+machine is constructed (handler tables bind methods at controller
+construction) and stay active for the whole exploration.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict
+
+from repro.config import Protocol
+
+
+@dataclass(frozen=True)
+class Mutation:
+    name: str
+    description: str
+    program: str            # litmus program that exposes it
+    protocol: Protocol      # protocol to explore it under
+    _ctx: Callable = field(repr=False, compare=False)
+
+    def activate(self):
+        return self._ctx()
+
+
+@contextmanager
+def _patched(cls, attr: str, replacement) -> None:
+    original = getattr(cls, attr)
+    setattr(cls, attr, replacement)
+    try:
+        yield
+    finally:
+        setattr(cls, attr, original)
+
+
+@contextmanager
+def _wi_drop_inv_ack():
+    """WI: invalidation acks vanish -- the writer's outstanding-ack
+    count never reaches zero, so its release fence never completes."""
+    from repro.protocols.wi import WINodeCtrl
+
+    def mutated(self, msg):
+        pass  # BUG: the ack is dropped on the floor
+
+    with _patched(WINodeCtrl, "_cache_inv_ack", mutated):
+        yield
+
+
+@contextmanager
+def _wi_skip_invalidation():
+    """WI: the home 'invalidates' sharers by forging their acks without
+    ever sending the INVs -- stale shared copies survive a write."""
+    from repro.network.messages import MsgType
+    from repro.protocols.wi import WINodeCtrl
+
+    def mutated(self, msg, invs, seq):
+        c = self.config.prop_issue_cycles
+        for k, s in enumerate(invs):
+            # BUG: ack on the sharer's behalf instead of invalidating it
+            self.sim.schedule(
+                k * c,
+                lambda: self._send(MsgType.INV_ACK, msg.requester,
+                                   msg.block))
+        return self.sim.now + len(invs) * c
+
+    with _patched(WINodeCtrl, "_issue_invalidations", mutated):
+        yield
+
+
+@contextmanager
+def _pu_upd_prop_overwrite():
+    """PU: an incoming UPD_PROP overwrites the whole word instead of
+    merging under the writer's byte mask, clobbering this node's own
+    sub-word stores."""
+    from repro.protocols.update import PUNodeCtrl
+    original = PUNodeCtrl._cache_upd_prop
+
+    def mutated(self, msg):
+        msg.mask = None  # BUG: forget the byte mask -> full overwrite
+        original(self, msg)
+
+    with _patched(PUNodeCtrl, "_cache_upd_prop", mutated):
+        yield
+
+
+@contextmanager
+def _cu_counter_stuck():
+    """CU: the competitive counter keeps counting but the drop never
+    happens -- lines stay resident past the update threshold."""
+    from repro.protocols.update import CUNodeCtrl
+
+    def mutated(self, line, msg):
+        line.update_count += 1
+        return False  # BUG: threshold reached but the line never drops
+
+    with _patched(CUNodeCtrl, "_drop_check", mutated):
+        yield
+
+
+MUTATIONS: Dict[str, Mutation] = {m.name: m for m in (
+    Mutation("wi-drop-inv-ack",
+             "WI drops INV_ACK messages (release fences hang)",
+             program="mp", protocol=Protocol.WI,
+             _ctx=_wi_drop_inv_ack),
+    Mutation("wi-skip-invalidation",
+             "WI home forges acks instead of invalidating sharers",
+             program="mp", protocol=Protocol.WI,
+             _ctx=_wi_skip_invalidation),
+    Mutation("pu-upd-prop-overwrite",
+             "PU UPD_PROP overwrites instead of byte-merging",
+             program="subword", protocol=Protocol.PU,
+             _ctx=_pu_upd_prop_overwrite),
+    Mutation("cu-counter-stuck",
+             "CU update counter reaches threshold without dropping",
+             program="subword", protocol=Protocol.CU,
+             _ctx=_cu_counter_stuck),
+)}
+
+
+def get_mutation(name: str) -> Mutation:
+    try:
+        return MUTATIONS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown mutation {name!r}; "
+            f"have {', '.join(sorted(MUTATIONS))}") from None

@@ -1,0 +1,182 @@
+"""Replayable counterexample schedules.
+
+A counterexample is saved as JSON: the litmus program, protocol,
+optional mutation, the minimized choice sequence, the violation it
+reproduces, and (informationally) the full machine config.  Replaying
+rebuilds the identical machine, forces the same same-cycle choices, and
+prints a human-readable transition trace -- every event in execution
+order, with the chosen index at each choice point -- under the PR-1
+sanitizer.  The replay exits 0 exactly when the recorded violation kind
+reproduces.
+"""
+
+from __future__ import annotations
+
+import json
+import types
+from typing import Any, Dict, Optional, TextIO
+
+from repro.config import Protocol
+
+SCHEDULE_FORMAT = "repro-modelcheck-schedule-v1"
+
+
+def counterexample_dict(result) -> Dict[str, Any]:
+    """Serialize an :class:`~repro.modelcheck.explorer.ExploreResult`
+    that carries a violation."""
+    from repro.campaign.spec import config_to_jsonable
+    from repro.modelcheck.litmus import get_program
+
+    if result.violation is None:
+        raise ValueError("no violation to serialize")
+    litmus = get_program(result.program)
+    config = litmus.config(Protocol(result.protocol))
+    return {
+        "format": SCHEDULE_FORMAT,
+        "program": result.program,
+        "protocol": result.protocol,
+        "mutation": result.mutation,
+        "choices": list(result.choices or ()),
+        "violation": {"kind": result.violation.kind,
+                      "detail": result.violation.detail},
+        "config": config_to_jsonable(config),
+        "stats": {"schedules": result.schedules,
+                  "states": result.states,
+                  "choice_points": result.choice_points},
+    }
+
+
+def save_counterexample(path: str, result) -> None:
+    with open(path, "w") as fh:
+        json.dump(counterexample_dict(result), fh, indent=2,
+                  sort_keys=True)
+        fh.write("\n")
+
+
+def load_schedule(path: str) -> Dict[str, Any]:
+    with open(path) as fh:
+        data = json.load(fh)
+    if data.get("format") != SCHEDULE_FORMAT:
+        raise ValueError(
+            f"{path}: not a modelcheck schedule "
+            f"(format={data.get('format')!r})")
+    return data
+
+
+# ----------------------------------------------------------------------
+# the transition trace
+# ----------------------------------------------------------------------
+
+def describe_event(fn, args) -> str:
+    """One human-readable line per simulator event."""
+    if isinstance(fn, types.MethodType):
+        owner = fn.__self__
+        name = fn.__func__.__name__
+        node = getattr(owner, "node", None)
+        if name == "_deliver" and args:
+            m = args[0]
+            extra = []
+            if m.word is not None:
+                extra.append(f"word={m.word}")
+            if m.value is not None:
+                extra.append(f"value={m.value!r}")
+            if m.nacks:
+                extra.append(f"nacks={m.nacks}")
+            if m.seq >= 0:
+                extra.append(f"seq={m.seq}")
+            tail = (" " + " ".join(extra)) if extra else ""
+            return (f"deliver {m.mtype.value:<13} {m.src}->{m.dst} "
+                    f"blk={m.block}{tail}")
+        target = type(owner).__name__
+        if node is not None:
+            target = f"{target}[{node}]"
+        if name == "_resume":
+            return f"{target}.resume(value={args[0]!r})"
+        shown = ", ".join(repr(a) for a in args)
+        return f"{target}.{name}({shown})"
+    name = getattr(fn, "__qualname__", None) or repr(fn)
+    return f"{name}()" if not args else f"{name}{args!r}"
+
+
+def replay(data: Dict[str, Any], out: Optional[TextIO] = None,
+           quiet: bool = False) -> int:
+    """Re-execute a schedule dict (from :func:`load_schedule`).
+
+    Returns 0 when the recorded violation kind reproduces (or when the
+    schedule recorded no violation and the run is clean), 1 otherwise.
+    """
+    import sys
+
+    from repro.modelcheck.explorer import run_schedule
+    from repro.modelcheck.litmus import get_program
+    from repro.modelcheck.mutations import get_mutation
+
+    if out is None:
+        out = sys.stdout
+
+    def emit(line: str) -> None:
+        if not quiet:
+            print(line, file=out)
+
+    program = data["program"]
+    protocol = Protocol(data["protocol"])
+    mutation = data.get("mutation")
+    choices = tuple(data["choices"])
+    expected = (data.get("violation") or {}).get("kind")
+
+    litmus = get_program(program)
+    config = litmus.config(protocol)
+    emit(f"replaying {program} under {protocol.value}"
+         + (f" with mutation {mutation}" if mutation else "")
+         + f": {len(choices)} forced choice(s)")
+    if expected:
+        emit(f"expected violation: {expected}")
+    emit("-" * 64)
+
+    counter = {"n": 0}
+    pending_choice = {"line": None}
+
+    def on_choice(pos, n_ready, chosen):
+        pending_choice["line"] = (
+            f"  [choice {pos}: {n_ready} ready, taking #{chosen}]")
+
+    def on_event(when, fn, args):
+        counter["n"] += 1
+        if pending_choice["line"]:
+            emit(pending_choice["line"])
+            pending_choice["line"] = None
+        emit(f"t={when:<5} {describe_event(fn, args)}")
+
+    hooks = {} if quiet else {"on_event": on_event,
+                              "on_choice": on_choice}
+    mut_ctx = get_mutation(mutation).activate() if mutation else None
+    try:
+        if mut_ctx is not None:
+            with mut_ctx:
+                _machine, violation = run_schedule(
+                    litmus, config, choices, **hooks)
+        else:
+            _machine, violation = run_schedule(
+                litmus, config, choices, **hooks)
+    except Exception as exc:  # divergence / setup failure
+        emit("-" * 64)
+        emit(f"replay failed to execute: {exc}")
+        return 1
+
+    emit("-" * 64)
+    if violation is None:
+        emit("run completed cleanly")
+        ok = expected is None
+    else:
+        emit(f"violation: {violation.kind}")
+        emit(f"  {violation.detail}")
+        ok = expected is not None and violation.kind == expected
+    emit("reproduced the recorded violation" if ok and expected
+         else ("clean run as recorded" if ok
+               else "did NOT reproduce the recorded outcome"))
+    return 0 if ok else 1
+
+
+def replay_file(path: str, out: Optional[TextIO] = None,
+                quiet: bool = False) -> int:
+    return replay(load_schedule(path), out=out, quiet=quiet)

@@ -109,6 +109,17 @@ class NodeCtrl:
     def receive(self, msg: Message) -> None:
         handler = self._handlers[msg.mtype.index]
         if handler is None:
+            # a message the active protocol does not speak is a protocol
+            # bug, never a droppable stray: record it for the checker
+            # report (when the sanitizer is on) and fail loudly either
+            # way -- silent ignores are exactly what the model checker
+            # is meant to rule out
+            if self.san is not None:
+                self.san.report.violation(
+                    "sanitizer", "unhandled-message",
+                    f"{type(self).__name__} has no handler for "
+                    f"{msg.mtype} (src={msg.src})",
+                    cycle=self.sim.now, node=self.node, block=msg.block)
             raise RuntimeError(
                 f"{type(self).__name__} has no handler for {msg.mtype}")
         if self.tracer.enabled:

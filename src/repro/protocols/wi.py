@@ -328,9 +328,15 @@ class WINodeCtrl(NodeCtrl):
             ent.state = DirState.DIRTY
             ent.owner = msg.requester
             ent.sharers.clear()
+            # the entry must not reopen before the DIRTY commit above:
+            # a queued read popped against the pre-commit state would
+            # hand out a SHARED copy alongside the new owner's M copy
+            if issue_done <= t:
+                self._end_txn(msg.block)
 
         self.sim.at(t, finish)
-        self.sim.at(max(t, issue_done), self._end_txn, msg.block)
+        if issue_done > t:
+            self.sim.at(issue_done, self._end_txn, msg.block)
 
     def _home_upgrade(self, msg: Message) -> None:
         self._begin_txn(msg, self._upgrade_txn)
@@ -349,9 +355,13 @@ class WINodeCtrl(NodeCtrl):
                 ent.state = DirState.DIRTY
                 ent.owner = msg.requester
                 ent.sharers.clear()
+                # as in _rdex_txn: commit before the entry reopens
+                if issue_done <= t:
+                    self._end_txn(msg.block)
 
             self.sim.at(t, finish)
-            self.sim.at(max(t, issue_done), self._end_txn, msg.block)
+            if issue_done > t:
+                self.sim.at(issue_done, self._end_txn, msg.block)
         else:
             # the requester's copy was invalidated (or ownership moved)
             # while its upgrade was in flight: serve data instead

@@ -61,12 +61,16 @@ class Machine:
     """A P-node DASH-like multiprocessor running one coherence protocol."""
 
     def __init__(self, config: MachineConfig, tracer=None,
-                 max_events: Optional[int] = None) -> None:
+                 max_events: Optional[int] = None,
+                 sim: Optional[Simulator] = None) -> None:
         # local import to avoid a cycle (protocols build on runtime types)
         from repro.protocols import make_controller
 
         self.config = config
-        self.sim = Simulator(max_events=max_events)
+        # an injected simulator (e.g. the model checker's
+        # ControlledSimulator) carries its own max_events budget
+        self.sim = sim if sim is not None else Simulator(
+            max_events=max_events)
         self.tracer = tracer if tracer is not None else NullTracer()
         self.miss_classifier = MissClassifier()
         self.update_classifier = UpdateClassifier()
@@ -144,8 +148,12 @@ class Machine:
             self.controllers[home].mem.write_word(
                 self.config.word_of(addr), value)
 
-    def run(self, until: Optional[int] = None) -> RunResult:
-        """Run the simulation to completion and collect the results."""
+    def prepare(self) -> None:
+        """First half of :meth:`run`: install initial memory values and
+        start every thread, without draining the event queue.  Callers
+        that drive the simulator manually (the model checker steps one
+        event at a time, checking invariants between events) use
+        ``prepare()`` / ``finish()`` around their own event loop."""
         if self._ran:
             raise RuntimeError("machine already ran; build a fresh one")
         self._ran = True
@@ -154,8 +162,17 @@ class Machine:
         self._install_initial_values()
         for proc in self.processors:
             proc.start()
-        self.sim.run(until=until)
 
+    def run(self, until: Optional[int] = None) -> RunResult:
+        """Run the simulation to completion and collect the results."""
+        self.prepare()
+        self.sim.run(until=until)
+        return self.finish(until=until)
+
+    def finish(self, until: Optional[int] = None) -> RunResult:
+        """Second half of :meth:`run`: deadlock attribution, checker
+        finalization and result collection, after the caller has drained
+        the event queue (directly or via ``self.sim.run``)."""
         stuck = [p for p in self.processors if not p.done]
         if stuck and until is None:
             attribution = [StuckThread(p.node, repr(p.current_op))

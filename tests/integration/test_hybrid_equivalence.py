@@ -1,0 +1,48 @@
+"""HYBRID must agree with the single-protocol machines.
+
+Every model-checking litmus program runs to completion (stock
+deterministic simulator) under WI, PU, CU and HYBRID; afterwards the
+directory/cache agreement invariants must hold and the final value of
+every shared allocation must be identical across all four protocols --
+per-block protocol selection may change timing, never results.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import Protocol
+from repro.modelcheck import PROGRAMS, final_value, get_program
+from repro.runtime import Machine
+
+PROTOCOLS = (Protocol.WI, Protocol.PU, Protocol.CU, Protocol.HYBRID)
+
+
+def _final_values(name: str, protocol: Protocol) -> dict:
+    litmus = get_program(name)
+    machine = Machine(litmus.config(protocol))
+    litmus.build(machine)
+    machine.run()
+    machine.check_coherence_invariants()
+    return {al.label: final_value(machine, al.addr)
+            for al in machine.memmap.allocations if al.label}
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_final_memory_identical_across_protocols(name):
+    per_proto = {p: _final_values(name, p) for p in PROTOCOLS}
+    reference = per_proto[Protocol.WI]
+    assert reference, f"{name}: no labelled allocations"
+    for proto, values in per_proto.items():
+        assert values == reference, (
+            f"{name}: {proto.value} final memory {values} differs from "
+            f"wi {reference}")
+
+
+def test_known_final_values():
+    assert _final_values("sb", Protocol.HYBRID) == {"x": 1, "y": 1}
+    mp = _final_values("mp", Protocol.HYBRID)
+    assert mp["data"] == 42 and mp["flag"] == 1
+    lock = _final_values("lock", Protocol.HYBRID)
+    assert lock["count"] == 2 and lock["lock"] == 0
+    assert _final_values("subword", Protocol.HYBRID)["w"] == 0x2222

@@ -1,0 +1,137 @@
+"""Unit tests for the lock-discipline lint rules (L5 double-acquire,
+L6 acquire-without-release)."""
+
+from __future__ import annotations
+
+from repro.checkers import run_lint
+from repro.config import MachineConfig, Protocol
+from repro.isa.ops import Fence, FetchStore, Read, SpinUntil, Write
+from repro.runtime import Machine
+from repro.sync.locks import TicketLock
+
+
+def _machine(procs: int = 2) -> Machine:
+    return Machine(MachineConfig(num_procs=procs, protocol=Protocol.WI))
+
+
+def _free(v) -> bool:
+    return v == 0
+
+
+def _tas_lock(machine):
+    """A plain test-and-set flag lock word."""
+    mm = machine.memmap
+    lock = mm.alloc_word(0, "lock")
+    mm.mark_sync(lock)
+    mm.mark_release(lock, predicate=_free)
+    return lock
+
+
+def test_tas_lock_acquire_release_is_clean():
+    machine = _machine()
+    lock = _tas_lock(machine)
+    counter = machine.memmap.alloc_word(0, "counter")
+
+    def program(node):
+        for _ in range(2):
+            yield SpinUntil(lock, _free)
+            yield FetchStore(lock, 1)
+            value = yield Read(counter)
+            yield Write(counter, value + 1)
+            yield Fence()
+            yield Write(lock, 0)
+
+    report = run_lint(machine.memmap, [(n, program(n)) for n in (0, 1)])
+    assert not report.by_rule("double-acquire"), report.render()
+    assert not report.by_rule("acquire-without-release"), report.render()
+
+
+def test_double_acquire_is_flagged():
+    machine = _machine(1)
+    lock = _tas_lock(machine)
+
+    def program(node):
+        yield SpinUntil(lock, _free)
+        yield Fence()
+        # BUG: re-enters the acquire protocol while still holding the
+        # lock (no release action since the first spin-ok)
+        yield SpinUntil(lock, _free)
+        yield Fence()
+        yield Write(lock, 0)
+
+    report = run_lint(machine.memmap, [(0, program(0))])
+    found = report.by_rule("double-acquire")
+    assert len(found) == 1, report.render()
+    assert found[0].node == 0
+    assert found[0].word == machine.memmap.config.word_of(lock)
+    assert not report.by_rule("acquire-without-release")
+
+
+def test_acquire_without_release_is_flagged():
+    machine = _machine(1)
+    lock = _tas_lock(machine)
+    counter = machine.memmap.alloc_word(0, "counter")
+
+    def program(node):
+        yield SpinUntil(lock, _free)
+        value = yield Read(counter)
+        yield Write(counter, value + 1)
+        yield Fence()
+        # BUG: the critical section never ends
+
+    report = run_lint(machine.memmap, [(0, program(0))])
+    found = report.by_rule("acquire-without-release")
+    assert len(found) == 1, report.render()
+    assert found[0].word == machine.memmap.config.word_of(lock)
+    assert not report.by_rule("double-acquire")
+
+
+def test_atomic_release_on_sync_word_is_not_flagged():
+    """MCS-style release: the holder CASes a sync word (the queue
+    tail) instead of storing to the word it spun on."""
+    machine = _machine(1)
+    lock = _tas_lock(machine)
+    tail = machine.memmap.alloc_word(0, "tail")
+    machine.memmap.mark_sync(tail)
+
+    def program(node):
+        yield SpinUntil(lock, _free)
+        yield Fence()
+        yield FetchStore(tail, 0)      # tail-CAS hands the lock over
+
+    report = run_lint(machine.memmap, [(0, program(0))])
+    assert not report.by_rule("acquire-without-release"), report.render()
+
+
+def test_handoff_store_by_peer_is_not_flagged():
+    """Someone else storing to the acquired word counts as handing the
+    lock onward on the holder's behalf."""
+    machine = _machine()
+    lock = _tas_lock(machine)
+
+    def holder(node):
+        yield SpinUntil(lock, _free)
+        yield Fence()
+
+    def granter(node):
+        yield Fence()
+        yield Write(lock, 0)           # releases on the holder's behalf
+
+    report = run_lint(machine.memmap, [(0, holder(0)), (1, granter(1))])
+    assert not report.by_rule("acquire-without-release"), report.render()
+
+
+def test_ticket_lock_has_no_lock_discipline_findings():
+    machine = _machine()
+    lock = TicketLock(machine)
+    counter = machine.memmap.alloc_word(0, "counter")
+
+    def program(node):
+        token = yield from lock.acquire(node)
+        value = yield Read(counter)
+        yield Write(counter, value + 1)
+        yield from lock.release(node, token)
+
+    report = run_lint(machine.memmap, [(n, program(n)) for n in (0, 1)])
+    assert not report.by_rule("double-acquire"), report.render()
+    assert not report.by_rule("acquire-without-release"), report.render()

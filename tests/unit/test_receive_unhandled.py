@@ -1,0 +1,38 @@
+"""A message the active protocol does not speak must fail loudly: the
+controller raises, and (with the sanitizer on) the checker report
+records an ``unhandled-message`` violation first."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import MachineConfig, Protocol
+from repro.network.messages import Message, MsgType
+from repro.runtime import Machine
+
+
+def _machine(**overrides) -> Machine:
+    cfg = MachineConfig(num_procs=2, protocol=Protocol.WI, **overrides)
+    return Machine(cfg)
+
+
+def _foreign_message() -> Message:
+    # UPD_PROP belongs to the update protocols; WI has no handler
+    return Message(MsgType.UPD_PROP, src=1, dst=0, block=0,
+                   word=0, value=7)
+
+
+def test_unhandled_message_raises():
+    machine = _machine(enable_sanitizer=False)
+    with pytest.raises(RuntimeError, match="no handler"):
+        machine.controllers[0].receive(_foreign_message())
+
+
+def test_unhandled_message_recorded_by_sanitizer():
+    machine = _machine(enable_sanitizer=True)
+    with pytest.raises(RuntimeError, match="no handler"):
+        machine.controllers[0].receive(_foreign_message())
+    found = machine.checker_report.by_rule("unhandled-message")
+    assert len(found) == 1, machine.checker_report.render()
+    assert found[0].node == 0
+    assert "UPD_PROP" in found[0].detail or "upd_prop" in found[0].detail
