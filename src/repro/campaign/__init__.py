@@ -25,9 +25,12 @@ from repro.campaign.result import (
 )
 from repro.campaign.cache import ResultCache
 from repro.campaign.runner import (
-    CampaignError, CampaignReport, CampaignRunner, execute_spec,
+    CampaignError, CampaignReport, CampaignRunner, SpecTimeoutError,
+    execute_spec,
 )
-from repro.campaign.workloads import register_workload, run_workload
+from repro.campaign.workloads import (
+    known_workloads, register_workload, run_workload,
+)
 
 __all__ = [
     "RunSpec", "canonical_json", "code_version",
@@ -35,6 +38,7 @@ __all__ = [
     "RunRecord", "run_result_to_jsonable", "run_result_from_jsonable",
     "network_stats_to_jsonable", "network_stats_from_jsonable",
     "ResultCache",
-    "CampaignError", "CampaignReport", "CampaignRunner", "execute_spec",
-    "register_workload", "run_workload",
+    "CampaignError", "CampaignReport", "CampaignRunner",
+    "SpecTimeoutError", "execute_spec",
+    "known_workloads", "register_workload", "run_workload",
 ]

@@ -6,6 +6,11 @@ parameters, and the code-version salt -- so a cache never serves stale
 results across code changes, and concurrent writers of the same key
 write identical bytes.  Writes are atomic (temp file + ``os.replace``)
 and unreadable entries degrade to cache misses.
+
+The cache is bounded only by explicit :meth:`ResultCache.prune` calls
+(``--cache-max-mb`` on the CLI, ``cache_max_mb`` on the service):
+eviction is LRU by file mtime, with hits refreshing the mtime, so a hot
+working set survives pruning while one-shot sweeps age out first.
 """
 
 from __future__ import annotations
@@ -13,7 +18,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
-from typing import Iterator, Optional, Union
+from typing import Iterator, Optional, Tuple, Union
 
 from repro.campaign.result import RunRecord
 from repro.campaign.spec import RunSpec
@@ -47,6 +52,10 @@ class ResultCache:
             return None
         if record.key != self._key_of(spec_or_key):
             return None
+        try:
+            os.utime(path)          # refresh LRU position (see prune)
+        except OSError:
+            pass
         record.cached = True
         return record
 
@@ -71,6 +80,65 @@ class ResultCache:
         return path
 
     # ------------------------------------------------------------------
+
+    def _entries(self) -> Iterator[Tuple[str, int, float]]:
+        """Every file under the root as ``(path, size, mtime)``.
+
+        Includes corrupt entries and stale ``.tmp`` droppings from
+        crashed writers -- pruning must be able to reclaim those too.
+        Files that vanish mid-scan are skipped.
+        """
+        if not os.path.isdir(self.root):
+            return
+        for shard in os.listdir(self.root):
+            shard_dir = os.path.join(self.root, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in os.listdir(shard_dir):
+                path = os.path.join(shard_dir, name)
+                try:
+                    st = os.stat(path)
+                except OSError:
+                    continue
+                yield path, st.st_size, st.st_mtime
+
+    def total_bytes(self) -> int:
+        """Bytes currently occupied by cache files (incl. droppings)."""
+        return sum(size for _path, size, _m in self._entries())
+
+    def prune(self, max_bytes: int) -> int:
+        """Evict least-recently-used entries until <= ``max_bytes``.
+
+        LRU order is file mtime (refreshed on every hit, so recently
+        served results survive).  Stale ``*.tmp`` files are always
+        removed first; corrupt entries need no special handling -- they
+        are ordinary files and age out like any other.  Returns the
+        number of files removed.
+        """
+        removed = 0
+        live = []
+        total = 0
+        for path, size, mtime in self._entries():
+            if path.endswith(".tmp"):
+                try:
+                    os.unlink(path)
+                    removed += 1
+                except OSError:
+                    pass
+                continue
+            live.append((mtime, path, size))
+            total += size
+        live.sort()                               # oldest first
+        for _mtime, path, size in live:
+            if total <= max_bytes:
+                break
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            total -= size
+            removed += 1
+        return removed
 
     def keys(self) -> Iterator[str]:
         if not os.path.isdir(self.root):

@@ -16,6 +16,8 @@ failures are never written to the cache.
 from __future__ import annotations
 
 import multiprocessing
+import signal
+import threading
 import time
 import traceback
 from dataclasses import dataclass, field
@@ -27,6 +29,39 @@ from repro.campaign.spec import RunSpec
 
 #: progress callback: (spec index, spec, its record)
 ProgressFn = Callable[[int, RunSpec, RunRecord], None]
+
+#: cancellation hook: polled between executions; True stops the campaign
+CancelFn = Callable[[], bool]
+
+
+class SpecTimeoutError(RuntimeError):
+    """A spec exceeded its per-spec wall-clock timeout."""
+
+
+def _call_with_timeout(fn: Callable, timeout_s: Optional[float]):
+    """Run ``fn()`` under a wall-clock alarm.
+
+    Enforcement uses ``SIGALRM``, which only works on the main thread
+    of a process (true both for in-process ``jobs=1`` execution and
+    for pool / executor worker processes); where unavailable the call
+    runs unguarded rather than failing.
+    """
+    if (not timeout_s or timeout_s <= 0
+            or not hasattr(signal, "SIGALRM")
+            or threading.current_thread() is not threading.main_thread()):
+        return fn()
+
+    def _on_alarm(signum, frame):
+        raise SpecTimeoutError(
+            f"exceeded per-spec wall-clock timeout of {timeout_s:g}s")
+
+    old_handler = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout_s)
+    try:
+        return fn()
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, old_handler)
 
 
 class CampaignError(RuntimeError):
@@ -44,13 +79,20 @@ class CampaignError(RuntimeError):
         self.failures: List[RunRecord] = list(failures)
 
 
-def execute_spec(spec: RunSpec) -> RunRecord:
-    """Run one spec to a record, capturing any failure in-band."""
+def execute_spec(spec: RunSpec,
+                 timeout_s: Optional[float] = None) -> RunRecord:
+    """Run one spec to a record, capturing any failure in-band.
+
+    ``timeout_s`` bounds the wall-clock time of the simulation; a spec
+    that exceeds it is captured as a failed record with
+    ``error_type == "SpecTimeoutError"`` instead of hanging the caller.
+    """
     from repro.campaign.workloads import run_workload
 
     t0 = time.perf_counter()
     try:
-        sim, metrics = run_workload(spec)
+        sim, metrics = _call_with_timeout(
+            lambda: run_workload(spec), timeout_s)
     except Exception as exc:
         return RunRecord(
             key=spec.key, workload=spec.workload, ok=False,
@@ -61,9 +103,16 @@ def execute_spec(spec: RunSpec) -> RunRecord:
         sim=sim, elapsed_s=time.perf_counter() - t0)
 
 
+def cancelled_record(spec: RunSpec) -> RunRecord:
+    """The failed record a cancelled (never-executed) spec lands as."""
+    return RunRecord(
+        key=spec.key, workload=spec.workload, ok=False,
+        error="cancelled before execution", error_type="Cancelled")
+
+
 def _pool_execute(item):
-    index, spec = item
-    return index, execute_spec(spec)
+    index, spec, timeout_s = item
+    return index, execute_spec(spec, timeout_s)
 
 
 @dataclass
@@ -74,6 +123,7 @@ class CampaignReport:
     executed: int = 0          # simulations actually run (unique specs)
     cached: int = 0            # spec positions served from the cache
     failed: int = 0            # spec positions whose record is not ok
+    cancelled: int = 0         # spec positions skipped by cancellation
     elapsed_s: float = 0.0
 
     @property
@@ -101,19 +151,30 @@ class CampaignRunner:
     over a ``multiprocessing`` pool (fork where available, spawn
     otherwise -- workload lookup re-imports provider modules, so both
     start methods see the full registry).
+
+    ``spec_timeout_s`` bounds each spec's wall-clock time: an
+    overrunning spec becomes a failed record (``SpecTimeoutError``)
+    instead of hanging the whole sweep.  ``run(..., cancel=fn)`` polls
+    ``fn()`` between executions; once it returns True the remaining
+    unexecuted specs land as ``Cancelled`` records (never cached).
     """
 
     def __init__(self, jobs: int = 1,
-                 cache: Optional[ResultCache] = None) -> None:
+                 cache: Optional[ResultCache] = None,
+                 spec_timeout_s: Optional[float] = None) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if spec_timeout_s is not None and spec_timeout_s <= 0:
+            raise ValueError("spec_timeout_s must be positive")
         self.jobs = jobs
         self.cache = cache
+        self.spec_timeout_s = spec_timeout_s
 
     # ------------------------------------------------------------------
 
     def run(self, specs: Sequence[RunSpec],
-            progress: Optional[ProgressFn] = None) -> CampaignReport:
+            progress: Optional[ProgressFn] = None,
+            cancel: Optional[CancelFn] = None) -> CampaignReport:
         t0 = time.perf_counter()
         report = CampaignReport(records=[None] * len(specs))
         keys = [spec.key for spec in specs]
@@ -130,7 +191,7 @@ class CampaignRunner:
             else:
                 pending.setdefault(key, []).append(i)
 
-        todo = [(indices[0], specs[indices[0]])
+        todo = [(indices[0], specs[indices[0]], self.spec_timeout_s)
                 for indices in pending.values()]
 
         def land(first_index: int, record: RunRecord) -> None:
@@ -148,12 +209,28 @@ class CampaignRunner:
                 "fork" if "fork" in methods else "spawn")
             workers = min(self.jobs, len(todo))
             with ctx.Pool(processes=workers) as pool:
+                # leaving the with-block terminates the pool, so a
+                # cancelled campaign abandons still-running workers
                 for index, record in pool.imap_unordered(
                         _pool_execute, todo):
                     land(index, record)
+                    if cancel is not None and cancel():
+                        break
         else:
-            for index, spec in todo:
-                land(index, execute_spec(spec))
+            for index, spec, timeout_s in todo:
+                if cancel is not None and cancel():
+                    break
+                land(index, execute_spec(spec, timeout_s))
+
+        # positions never executed (cancellation) land as failed
+        # Cancelled records so the report stays fully populated
+        for i, rec in enumerate(report.records):
+            if rec is None:
+                record = cancelled_record(specs[i])
+                report.records[i] = record
+                report.cancelled += 1
+                if progress is not None:
+                    progress(i, specs[i], record)
 
         report.failed = sum(1 for rec in report.records if not rec.ok)
         report.elapsed_s = time.perf_counter() - t0

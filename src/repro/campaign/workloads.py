@@ -16,8 +16,9 @@ freshly spawned worker process still finds every workload.
 
 from __future__ import annotations
 
+import difflib
 import importlib
-from typing import Callable, Dict, Tuple
+from typing import Callable, Dict, List, Tuple
 
 from repro.runtime import RunResult
 from repro.campaign.spec import RunSpec
@@ -39,13 +40,30 @@ def register_workload(name: str) -> Callable[[WorkloadFn], WorkloadFn]:
     return deco
 
 
+def known_workloads() -> List[str]:
+    """Every registered workload name (providers imported first)."""
+    for module in _PROVIDERS:
+        importlib.import_module(module)
+    return sorted(_REGISTRY)
+
+
+def suggest_names(name: str, options) -> str:
+    """'; did you mean X, Y?' suffix for an unknown-name error, or ''."""
+    close = difflib.get_close_matches(name, list(options), n=3,
+                                      cutoff=0.4)
+    if not close:
+        return ""
+    return f"; did you mean {', '.join(close)}?"
+
+
 def get_workload(name: str) -> WorkloadFn:
     if name not in _REGISTRY:
         for module in _PROVIDERS:
             importlib.import_module(module)
         if name not in _REGISTRY:
             raise KeyError(
-                f"unknown workload {name!r}; registered: "
+                f"unknown workload {name!r}"
+                f"{suggest_names(name, _REGISTRY)}; registered: "
                 f"{', '.join(sorted(_REGISTRY))}")
     return _REGISTRY[name]
 

@@ -19,6 +19,7 @@ wall-clock / cache tallies for CI artifacts.
 from __future__ import annotations
 
 import argparse
+import difflib
 import json
 import sys
 import time
@@ -68,6 +69,10 @@ def build_parser() -> argparse.ArgumentParser:
                         f"(default {DEFAULT_CACHE_DIR})")
     p.add_argument("--no-cache", action="store_true",
                    help="bypass the result cache entirely")
+    p.add_argument("--cache-max-mb", type=float, default=None,
+                   metavar="MB",
+                   help="prune the result cache above this size after "
+                        "each figure (LRU by last use)")
     p.add_argument("--bench-json", metavar="FILE", default=None,
                    help="write per-figure timing / cache tallies as "
                         "JSON (for CI artifacts)")
@@ -101,6 +106,14 @@ def main(argv: List[str] = None) -> int:
         # counterexample replay instead of regenerating figures
         from repro.experiments.modelcheck import main as mc_main
         return mc_main(argv[1:])
+    if argv and argv[0] == "serve":
+        # simulation-serving gateway (docs/service.md)
+        from repro.service.gateway import main as serve_main
+        return serve_main(argv[1:])
+    if argv and argv[0] == "loadgen":
+        # closed-loop load generator against a running gateway
+        from repro.service.loadgen import main as loadgen_main
+        return loadgen_main(argv[1:])
     args = build_parser().parse_args(argv)
 
     wanted = args.figures
@@ -108,11 +121,23 @@ def main(argv: List[str] = None) -> int:
         wanted = list(FIGURES)
     unknown = [f for f in wanted if f not in FIGURES]
     if unknown:
-        print(f"unknown figure(s): {', '.join(unknown)}; "
-              f"choose from {', '.join(FIGURES)}", file=sys.stderr)
+        subcommands = ("check", "modelcheck", "serve", "loadgen")
+        candidates = list(FIGURES) + list(subcommands)
+        for name in unknown:
+            close = difflib.get_close_matches(name, candidates, n=3,
+                                              cutoff=0.4)
+            hint = (f"; did you mean {', '.join(close)}?"
+                    if close else "")
+            print(f"unknown figure {name!r}{hint}", file=sys.stderr)
+        print(f"choose from: {', '.join(FIGURES)} "
+              f"(or the subcommands {' / '.join(subcommands)})",
+              file=sys.stderr)
         return 2
     if args.jobs < 1:
         print("--jobs must be >= 1", file=sys.stderr)
+        return 2
+    if args.cache_max_mb is not None and args.cache_max_mb <= 0:
+        print("--cache-max-mb must be positive", file=sys.stderr)
         return 2
 
     scale = (ExperimentScale.paper() if args.paper_scale
@@ -183,6 +208,13 @@ def _run_figures(args, wanted, scale, runner, bench) -> int:
                 print(rec.error, file=sys.stderr)
             return 1
         data = figure_table(fig, points, report.records)
+        if args.cache_max_mb is not None and runner.cache is not None:
+            evicted = runner.cache.prune(
+                int(args.cache_max_mb * 1024 * 1024))
+            if evicted and not args.quiet:
+                print(f"  [cache pruned: {evicted} entries evicted "
+                      f"over {args.cache_max_mb:g} MB]",
+                      file=sys.stderr)
         elapsed = time.time() - t0
         bench["figures"][fig] = {
             "specs": len(points),

@@ -52,6 +52,10 @@ class Interval:
     end: int
     state: CpuState
 
+    def to_jsonable(self) -> Dict[str, object]:
+        return {"start": self.start, "end": self.end,
+                "state": self.state.value}
+
 
 class Timeline:
     """Collects per-processor state intervals."""
@@ -125,6 +129,27 @@ class Timeline:
             out[iv.state] = out.get(iv.state, 0.0) + \
                 (iv.end - iv.start) / total
         return out
+
+    def to_jsonable(self, until: Optional[int] = None
+                    ) -> Dict[str, object]:
+        """JSON-ready timeline: per-node intervals + state fractions.
+
+        Node keys are strings (strict JSON); interval ``state`` values
+        are the :class:`CpuState` enum values.  This is the shape the
+        service streams over NDJSON, so it is covered by shape tests.
+        """
+        horizon = until if until is not None else self.sim.now
+        procs: Dict[str, object] = {}
+        for node in sorted(self._intervals):
+            procs[str(node)] = {
+                "intervals": [iv.to_jsonable()
+                              for iv in self.intervals(node)],
+                "fractions": {
+                    state.value: frac for state, frac in sorted(
+                        self.state_fractions(node).items(),
+                        key=lambda kv: kv[0].value)},
+            }
+        return {"horizon": horizon, "procs": procs}
 
     def render(self, width: int = 72, until: Optional[int] = None) -> str:
         """ASCII Gantt chart: one row per instrumented processor."""

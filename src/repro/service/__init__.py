@@ -1,0 +1,30 @@
+"""Simulation-serving gateway (subsystem S22).
+
+Turns the one-shot campaign layer into a long-running, multi-tenant
+service: an asyncio HTTP gateway (stdlib only) that validates JSON
+requests into canonical :class:`~repro.campaign.RunSpec` values,
+dedupes in-flight work (single-flight per spec key), serves warm
+results from the shared :class:`~repro.campaign.ResultCache`, and
+schedules misses onto a bounded process-pool executor with admission
+control (429 + Retry-After), per-request deadlines, live Prometheus
+metrics, and graceful SIGTERM drain.
+
+Served results are bit-identical to direct ``CampaignRunner`` runs:
+the worker processes execute :func:`repro.campaign.execute_spec`, the
+exact function campaign workers run.  See ``docs/service.md``.
+"""
+
+from repro.service.config import ServiceConfig
+from repro.service.gateway import Gateway
+from repro.service.metrics import (
+    Counter, Gauge, Histogram, MetricsRegistry, percentile,
+)
+from repro.service.scheduler import (
+    DeadlineExceeded, Draining, QueueFull, SimScheduler,
+)
+
+__all__ = [
+    "ServiceConfig", "Gateway",
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "percentile",
+    "DeadlineExceeded", "Draining", "QueueFull", "SimScheduler",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro.service`` entry point (the gateway)."""
+
+import sys
+
+from repro.service.gateway import main
+
+sys.exit(main())

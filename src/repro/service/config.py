@@ -1,0 +1,61 @@
+"""Service configuration.
+
+One frozen dataclass holds every knob of the gateway: where to listen,
+how many simulation workers to run, how much work to admit, and the
+operational limits (deadlines, drain grace, cache bound).  The CLI
+(``python -m repro.experiments serve``) maps flags onto these fields
+one-to-one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+#: default TCP port of the gateway (repro ~ "8321" has no meaning
+#: beyond being unclaimed)
+DEFAULT_PORT = 8321
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything the gateway needs to run.
+
+    ``cache_dir=None`` disables the result cache entirely (every
+    request simulates); ``deadline_s=None`` disables the default
+    per-request deadline; ``spec_timeout_s`` bounds one simulation's
+    wall-clock inside a worker (see
+    :class:`repro.campaign.CampaignRunner`).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = DEFAULT_PORT
+    jobs: int = 2
+    cache_dir: Optional[str] = ".repro-cache"
+    max_queue: int = 64
+    deadline_s: Optional[float] = 300.0
+    spec_timeout_s: Optional[float] = None
+    cache_max_mb: Optional[float] = None
+    drain_grace_s: float = 30.0
+    max_body_bytes: int = 8 << 20
+    quiet: bool = False
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if self.max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError("deadline_s must be positive (or None)")
+        if self.spec_timeout_s is not None and self.spec_timeout_s <= 0:
+            raise ValueError("spec_timeout_s must be positive (or None)")
+        if self.cache_max_mb is not None and self.cache_max_mb <= 0:
+            raise ValueError("cache_max_mb must be positive (or None)")
+        if self.drain_grace_s < 0:
+            raise ValueError("drain_grace_s must be >= 0")
+
+    @property
+    def cache_max_bytes(self) -> Optional[int]:
+        if self.cache_max_mb is None:
+            return None
+        return int(self.cache_max_mb * 1024 * 1024)

@@ -1,0 +1,492 @@
+"""The asyncio simulation-serving gateway.
+
+A long-running HTTP server that turns the one-shot figure harness into
+a multi-tenant simulation service:
+
+* ``POST /v1/run``    -- one spec; responds with the full run record
+* ``POST /v1/sweep``  -- a figure or raw spec list; streams NDJSON
+  per-spec completion events, then a summary (and the rendered figure
+  table when every point succeeded)
+* ``GET /v1/result/<key>`` -- fetch a cached record by spec hash
+* ``GET /healthz``    -- liveness + queue/drain state
+* ``GET /metrics``    -- Prometheus text exposition
+
+All simulation work flows through one :class:`SimScheduler` (shared
+cache, single-flight, bounded admission), so overlapping requests from
+many clients cost one simulation per unique spec.  SIGTERM/SIGINT
+drain gracefully: the listener closes, in-flight requests finish, the
+worker pool shuts down, and the process exits 0.
+
+Run it via ``python -m repro.experiments serve`` or
+``python -m repro.service``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import signal
+import socket
+import sys
+import time
+import traceback
+from typing import List, Optional, Tuple
+
+from repro.campaign import ResultCache
+from repro.service import api
+from repro.service.config import DEFAULT_PORT, ServiceConfig
+from repro.service.httpio import (
+    METRICS_TYPE, HttpError, Request, json_response, ndjson_line,
+    read_request, response, stream_head,
+)
+from repro.service.metrics import MetricsRegistry
+from repro.service.scheduler import (
+    DeadlineExceeded, Draining, QueueFull, SimScheduler,
+)
+
+#: route label for unmatched paths (bounds metric cardinality)
+_OTHER = "other"
+
+
+class Gateway:
+    """One service instance: listener + scheduler + metrics."""
+
+    def __init__(self, config: ServiceConfig,
+                 scheduler: Optional[SimScheduler] = None,
+                 registry: Optional[MetricsRegistry] = None) -> None:
+        self.config = config
+        self.registry = registry if registry is not None \
+            else (scheduler.registry if scheduler is not None
+                  else MetricsRegistry())
+        self.cache = (ResultCache(config.cache_dir)
+                      if config.cache_dir else None)
+        self._own_scheduler = scheduler is None
+        if scheduler is None:
+            scheduler = SimScheduler(
+                jobs=config.jobs, cache=self.cache,
+                max_queue=config.max_queue, registry=self.registry,
+                spec_timeout_s=config.spec_timeout_s,
+                cache_max_bytes=config.cache_max_bytes)
+        else:
+            self.cache = scheduler.cache
+        self.scheduler = scheduler
+
+        self.m_requests = self.registry.counter(
+            "repro_requests_total", "HTTP requests by route and status",
+            ("route", "code"))
+        self.m_request_latency = self.registry.histogram(
+            "repro_request_latency_seconds",
+            "Wall-clock seconds per HTTP request", ("route",))
+        self.m_draining = self.registry.gauge(
+            "repro_draining", "1 while the gateway is draining")
+
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._stopped: Optional[asyncio.Event] = None
+        self._draining = False
+        self._active_requests = 0
+        self._started = time.monotonic()
+        self.port: Optional[int] = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    async def start(self) -> None:
+        self._stopped = asyncio.Event()
+        self._started = time.monotonic()
+        if self._own_scheduler:
+            # fork the workers before any socket exists (see
+            # SimScheduler.warm); injected schedulers warm themselves
+            self.scheduler.warm()
+        self._server = await asyncio.start_server(
+            self._on_connection, self.config.host, self.config.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._log(f"listening on http://{self.config.host}:{self.port}")
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def begin_drain(self) -> None:
+        """Idempotent; safe to call from a signal handler callback."""
+        if self._draining:
+            return
+        self._draining = True
+        self.m_draining.set(1)
+        self._log("drain requested; finishing in-flight work")
+        asyncio.get_event_loop().create_task(self._drain())
+
+    async def _drain(self) -> None:
+        grace = self.config.drain_grace_s
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        deadline = time.monotonic() + grace
+        while self._active_requests > 0 and time.monotonic() < deadline:
+            await asyncio.sleep(0.02)
+        clean = await self.scheduler.drain(
+            grace_s=max(0.0, deadline - time.monotonic()))
+        self._log("drain complete" if clean
+                  else "drain grace expired with work still running")
+        if self._stopped is not None:
+            self._stopped.set()
+
+    async def wait_stopped(self) -> None:
+        assert self._stopped is not None, "start() first"
+        await self._stopped.wait()
+
+    async def stop(self) -> None:
+        """Drain and wait (used by tests; signals use begin_drain)."""
+        self.begin_drain()
+        await self.wait_stopped()
+
+    async def serve_forever(self, handle_signals: bool = True) -> None:
+        await self.start()
+        if handle_signals:
+            loop = asyncio.get_running_loop()
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.add_signal_handler(sig, self.begin_drain)
+                except (NotImplementedError, RuntimeError):
+                    pass
+        await self.wait_stopped()
+
+    def _log(self, message: str) -> None:
+        if not self.config.quiet:
+            print(f"[repro.service] {message}", file=sys.stderr,
+                  flush=True)
+
+    # -- connection handling --------------------------------------------
+
+    async def _on_connection(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    req = await read_request(
+                        reader, self.config.max_body_bytes)
+                except HttpError as exc:
+                    writer.write(json_response(
+                        exc.status, {"error": exc.message},
+                        headers=exc.headers, keep_alive=False))
+                    await writer.drain()
+                    break
+                if req is None:
+                    break
+                keep = await self._dispatch(req, writer)
+                try:
+                    await writer.drain()
+                except ConnectionError:
+                    break
+                if not keep:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            try:
+                # explicit shutdown: forked pool workers may hold a
+                # dup of this fd, and FIN is only sent when the last
+                # dup closes -- close() alone would leave EOF-framed
+                # responses hanging
+                sock = writer.get_extra_info("socket")
+                if sock is not None:
+                    sock.shutdown(socket.SHUT_RDWR)
+            except (OSError, ValueError):
+                pass
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _dispatch(self, req: Request,
+                        writer: asyncio.StreamWriter) -> bool:
+        """Route + run one request; returns keep-alive."""
+        route, handler = self._route(req)
+        keep = req.keep_alive and not self._draining
+        t0 = time.monotonic()
+        self._active_requests += 1
+        try:
+            code, keep = await handler(req, writer, keep)
+        except HttpError as exc:
+            code = exc.status
+            writer.write(json_response(
+                code, {"error": exc.message}, headers=exc.headers,
+                keep_alive=keep))
+        except (ConnectionError, asyncio.IncompleteReadError):
+            code, keep = 499, False      # client went away mid-response
+        except Exception:
+            code, keep = 500, False
+            self._log("internal error:\n" + traceback.format_exc())
+            try:
+                writer.write(json_response(
+                    500, {"error": "internal server error"},
+                    keep_alive=False))
+            except ConnectionError:
+                pass
+        finally:
+            self._active_requests -= 1
+            self.m_requests.inc(route=route, code=str(code))
+            self.m_request_latency.observe(
+                time.monotonic() - t0, route=route)
+        return keep
+
+    def _route(self, req: Request):
+        path, method = req.path, req.method
+        if path == "/healthz":
+            return "healthz", self._require(method, "GET",
+                                            self._h_health)
+        if path == "/metrics":
+            return "metrics", self._require(method, "GET",
+                                            self._h_metrics)
+        if path == "/v1/run":
+            return "run", self._require(method, "POST", self._h_run,
+                                        guard=True)
+        if path == "/v1/sweep":
+            return "sweep", self._require(method, "POST",
+                                          self._h_sweep, guard=True)
+        if path.startswith("/v1/result/"):
+            return "result", self._require(method, "GET",
+                                           self._h_result)
+        return _OTHER, self._h_not_found
+
+    def _require(self, method: str, expected: str, handler,
+                 guard: bool = False):
+        async def wrapped(req, writer, keep):
+            if method != expected:
+                raise HttpError(405, f"use {expected}",
+                                {"Allow": expected})
+            if guard and self._draining:
+                raise HttpError(503, "draining; not accepting new work",
+                                {"Retry-After": "30"})
+            return await handler(req, writer, keep)
+        return wrapped
+
+    async def _h_not_found(self, req, writer, keep):
+        raise HttpError(404, f"no route for {req.path!r}")
+
+    # -- endpoints ------------------------------------------------------
+
+    async def _h_health(self, req, writer, keep) -> Tuple[int, bool]:
+        sched = self.scheduler
+        code = 503 if self._draining else 200
+        body = {
+            "status": "draining" if self._draining else "ok",
+            "uptime_s": round(time.monotonic() - self._started, 3),
+            "pending": sched.pending,
+            "running": sched.running,
+            "queue_depth": max(0, sched.pending - sched.running),
+            "jobs": sched.jobs,
+            "max_queue": sched.max_queue,
+            "cache": self.cache.root if self.cache is not None else None,
+        }
+        writer.write(json_response(code, body, keep_alive=keep))
+        return code, keep
+
+    async def _h_metrics(self, req, writer, keep) -> Tuple[int, bool]:
+        body = self.registry.render().encode("utf-8")
+        writer.write(response(200, body, content_type=METRICS_TYPE,
+                              keep_alive=keep))
+        return 200, keep
+
+    async def _h_run(self, req, writer, keep) -> Tuple[int, bool]:
+        point, deadline_s = api.run_from_request(
+            req.json(), self.config.deadline_s)
+        try:
+            handle = self.scheduler.admit(point.spec)
+        except QueueFull as exc:
+            raise HttpError(
+                429, str(exc),
+                {"Retry-After": str(exc.retry_after_s)}) from None
+        except Draining:
+            raise HttpError(503, "draining; not accepting new work",
+                            {"Retry-After": "30"}) from None
+        try:
+            record = await self.scheduler.result(handle, deadline_s)
+        except DeadlineExceeded as exc:
+            raise HttpError(504, str(exc)) from None
+        code = 200 if record.ok else 422
+        body = {"label": point.label, "key": point.spec.key,
+                "cached": record.cached,
+                "record": record.to_jsonable()}
+        writer.write(json_response(code, body, keep_alive=keep))
+        return code, keep
+
+    async def _h_result(self, req, writer, keep) -> Tuple[int, bool]:
+        key = req.path.rsplit("/", 1)[-1].lower()
+        if not (len(key) == 64
+                and all(c in "0123456789abcdef" for c in key)):
+            raise HttpError(400, "result key must be a 64-char spec "
+                            "hash (see the 'key' field of run/sweep "
+                            "responses)")
+        record = self.cache.get(key) if self.cache is not None else None
+        if record is not None:
+            writer.write(json_response(
+                200, {"key": key, "record": record.to_jsonable()},
+                keep_alive=keep))
+            return 200, keep
+        if self.scheduler.inflight_key(key) is not None:
+            writer.write(json_response(
+                202, {"key": key, "inflight": True,
+                      "error": "still simulating; retry shortly"},
+                headers={"Retry-After": "1"}, keep_alive=keep))
+            return 202, keep
+        raise HttpError(404, f"no cached result for {key}")
+
+    async def _h_sweep(self, req, writer, keep) -> Tuple[int, bool]:
+        fid, points, deadline_s = api.sweep_from_request(
+            req.json(), self.config.deadline_s)
+        try:
+            handles = self.scheduler.admit_many(
+                [pt.spec for pt in points])
+        except QueueFull as exc:
+            raise HttpError(
+                429, str(exc),
+                {"Retry-After": str(exc.retry_after_s)}) from None
+        except Draining:
+            raise HttpError(503, "draining; not accepting new work",
+                            {"Retry-After": "30"}) from None
+
+        # headers committed: stream close-delimited NDJSON from here on
+        writer.write(stream_head())
+        t0 = time.monotonic()
+        writer.write(ndjson_line({
+            "event": "start", "figure": fid, "count": len(points)}))
+        await writer.drain()
+
+        async def finish(index: int):
+            try:
+                rec = await self.scheduler.result(
+                    handles[index], deadline_s)
+            except DeadlineExceeded:
+                return index, None
+            return index, rec
+
+        executed = cached = failed = timed_out = 0
+        records: List[Optional[object]] = [None] * len(points)
+        for fut in asyncio.as_completed(
+                [finish(i) for i in range(len(points))]):
+            index, record = await fut
+            point = points[index]
+            if record is None:
+                timed_out += 1
+                writer.write(ndjson_line({
+                    "event": "deadline", "index": index,
+                    "label": point.label, "x": point.x,
+                    "key": point.spec.key}))
+                await writer.drain()
+                continue
+            records[index] = record
+            if record.cached:
+                cached += 1
+            else:
+                executed += 1
+            if not record.ok:
+                failed += 1
+            writer.write(ndjson_line({
+                "event": "spec", "index": index, "label": point.label,
+                "x": point.x, "key": point.spec.key, "ok": record.ok,
+                "cached": record.cached, "error_type": record.error_type,
+                "metrics": dict(record.metrics)}))
+            await writer.drain()
+
+        if fid is not None and failed == 0 and timed_out == 0:
+            from repro.experiments.figures import figure_table
+
+            table = figure_table(fid, points, records)
+            writer.write(ndjson_line({
+                "event": "table", "figure": fid,
+                "text": table.render()}))
+        writer.write(ndjson_line({
+            "event": "done", "ok": failed == 0 and timed_out == 0,
+            "count": len(points), "executed": executed,
+            "cached": cached, "failed": failed,
+            "deadline_exceeded": timed_out,
+            "elapsed_s": round(time.monotonic() - t0, 6)}))
+        return 200, False
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Serve simulations over HTTP: shared cache, "
+                    "single-flight dedupe, bounded admission, live "
+                    "Prometheus metrics (see docs/service.md).")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=DEFAULT_PORT,
+                   help=f"TCP port (default {DEFAULT_PORT}; 0 picks a "
+                        "free port and prints it)")
+    p.add_argument("--jobs", type=int, default=2, metavar="N",
+                   help="simulation worker processes (default 2)")
+    p.add_argument("--cache-dir", default=".repro-cache", metavar="DIR",
+                   help="content-addressed result cache "
+                        "(default .repro-cache)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="serve without a result cache")
+    p.add_argument("--max-queue", type=int, default=64, metavar="N",
+                   help="max admitted-but-unfinished specs before "
+                        "requests get 429 (default 64)")
+    p.add_argument("--deadline", type=float, default=300.0,
+                   metavar="SECONDS",
+                   help="default per-request deadline (default 300; "
+                        "0 disables)")
+    p.add_argument("--spec-timeout", type=float, default=0.0,
+                   metavar="SECONDS",
+                   help="per-simulation wall-clock timeout inside a "
+                        "worker (default off)")
+    p.add_argument("--cache-max-mb", type=float, default=None,
+                   metavar="MB",
+                   help="prune the result cache (LRU) above this size")
+    p.add_argument("--drain-grace", type=float, default=30.0,
+                   metavar="SECONDS",
+                   help="max seconds to finish in-flight work on "
+                        "SIGTERM (default 30)")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress log lines on stderr")
+    return p
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        config = ServiceConfig(
+            host=args.host, port=args.port, jobs=args.jobs,
+            cache_dir=None if args.no_cache else args.cache_dir,
+            max_queue=args.max_queue,
+            deadline_s=args.deadline if args.deadline > 0 else None,
+            spec_timeout_s=(args.spec_timeout
+                            if args.spec_timeout > 0 else None),
+            cache_max_mb=args.cache_max_mb,
+            drain_grace_s=args.drain_grace, quiet=args.quiet)
+    except ValueError as exc:
+        print(f"bad service configuration: {exc}", file=sys.stderr)
+        return 2
+
+    gateway = Gateway(config)
+
+    async def run() -> None:
+        await gateway.start()
+        # machine-readable boot line on stdout: scripts parse the port
+        print(json.dumps({"service": "repro",
+                          "host": config.host,
+                          "port": gateway.port}), flush=True)
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, gateway.begin_drain)
+            except (NotImplementedError, RuntimeError):
+                pass
+        await gateway.wait_stopped()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,282 @@
+"""Closed-loop load generator for the simulation service.
+
+Drives N concurrent clients against a running gateway; each client
+issues its requests back-to-back (closed loop), so offered load scales
+with service latency like a real caller.  Reports throughput, latency
+percentiles (nearest-rank over all successful requests), and error
+counts; exits nonzero if any request hit a 5xx or a connection error,
+which is what the CI smoke job asserts.
+
+Modes:
+
+* ``sweep`` (default): every request is ``POST /v1/sweep`` for the
+  same figure -- overlapping sweeps exercise single-flight dedupe and
+  the shared cache; the NDJSON stream is consumed and per-spec events
+  are tallied.
+* ``run``: clients round-robin ``POST /v1/run`` over the figure's
+  individual specs.
+
+Usage::
+
+    python -m repro.service.loadgen --port 8321 --clients 16 \
+        --requests 4 --figure fig9 --scale 0.01 --procs 4 --json out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.service.metrics import percentile
+
+_MAX_LINE = 1 << 20
+
+
+@dataclass
+class ClientStats:
+    """Tallies of one client's closed loop."""
+
+    ok: int = 0
+    by_status: Dict[int, int] = field(default_factory=dict)
+    conn_errors: int = 0
+    latencies_s: List[float] = field(default_factory=list)
+    spec_events: int = 0
+    cached_events: int = 0
+
+
+class HttpClient:
+    """A keep-alive HTTP/1.1 client for one (host, port)."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def _connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port, limit=_MAX_LINE)
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            try:
+                self._writer.close()
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        self._reader = self._writer = None
+
+    async def request(self, method: str, path: str,
+                      body: Optional[bytes] = None
+                      ) -> Tuple[int, Dict[str, str], bytes]:
+        """One request; returns (status, headers, full body bytes)."""
+        if self._writer is None:
+            await self._connect()
+        head = [f"{method} {path} HTTP/1.1",
+                f"Host: {self.host}:{self.port}",
+                "Accept: */*"]
+        if body is not None:
+            head.append("Content-Type: application/json")
+            head.append(f"Content-Length: {len(body)}")
+        payload = ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") \
+            + (body or b"")
+        self._writer.write(payload)
+        await self._writer.drain()
+
+        status_line = await self._reader.readline()
+        if not status_line:
+            raise ConnectionError("server closed the connection")
+        parts = status_line.decode("latin-1").split(None, 2)
+        if len(parts) < 2 or not parts[1].isdigit():
+            raise ConnectionError(f"bad status line {status_line!r}")
+        status = int(parts[1])
+        headers: Dict[str, str] = {}
+        while True:
+            raw = await self._reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, sep, value = raw.decode("latin-1").partition(":")
+            if sep:
+                headers[name.strip().lower()] = value.strip()
+
+        if "content-length" in headers:
+            resp_body = await self._reader.readexactly(
+                int(headers["content-length"]))
+        else:
+            # close-delimited (the NDJSON sweep stream)
+            resp_body = await self._reader.read(-1)
+
+        if headers.get("connection", "").lower() == "close":
+            await self.close()
+        return status, headers, resp_body
+
+
+def build_payloads(args) -> Tuple[str, List[bytes]]:
+    """(path, request bodies) for the chosen mode."""
+    if args.mode == "sweep":
+        body = {"figure": args.figure, "scale": args.scale,
+                "procs": args.procs}
+        if args.sizes:
+            body["sizes"] = args.sizes
+        return "/v1/sweep", [json.dumps(body).encode("utf-8")]
+    # run mode: one body per figure spec, round-robined
+    from repro.config import ExperimentScale, PAPER_MACHINE_SIZES
+    from repro.experiments.figures import figure_points
+
+    points = figure_points(
+        args.figure, scale=ExperimentScale.scaled(args.scale),
+        sizes=tuple(args.sizes) if args.sizes else PAPER_MACHINE_SIZES,
+        P=args.procs)
+    bodies = []
+    for pt in points:
+        spec = pt.spec.to_jsonable()
+        spec["label"] = pt.label
+        bodies.append(json.dumps(spec).encode("utf-8"))
+    return "/v1/run", bodies
+
+
+async def _client_loop(index: int, args, path: str,
+                       payloads: List[bytes],
+                       stats: ClientStats) -> None:
+    client = HttpClient(args.host, args.port)
+    try:
+        for n in range(args.requests):
+            body = payloads[(index + n) % len(payloads)]
+            t0 = time.monotonic()
+            try:
+                status, _headers, resp = await client.request(
+                    "POST", path, body)
+            except (ConnectionError, OSError,
+                    asyncio.IncompleteReadError):
+                stats.conn_errors += 1
+                await client.close()
+                continue
+            stats.latencies_s.append(time.monotonic() - t0)
+            stats.by_status[status] = stats.by_status.get(status, 0) + 1
+            if status == 200:
+                stats.ok += 1
+                if args.mode == "sweep":
+                    for line in resp.splitlines():
+                        try:
+                            event = json.loads(line)
+                        except ValueError:
+                            continue
+                        if event.get("event") == "spec":
+                            stats.spec_events += 1
+                            if event.get("cached"):
+                                stats.cached_events += 1
+            elif status == 429:
+                retry = _headers.get("retry-after")
+                try:
+                    await asyncio.sleep(min(5.0, float(retry or 1)))
+                except ValueError:
+                    await asyncio.sleep(1.0)
+    finally:
+        await client.close()
+
+
+def summarize(all_stats: List[ClientStats], elapsed_s: float,
+              args) -> Dict[str, object]:
+    latencies = [s for st in all_stats for s in st.latencies_s]
+    by_status: Dict[str, int] = {}
+    for st in all_stats:
+        for code, n in st.by_status.items():
+            by_status[str(code)] = by_status.get(str(code), 0) + n
+    completed = sum(len(st.latencies_s) for st in all_stats)
+    report: Dict[str, object] = {
+        "mode": args.mode,
+        "figure": args.figure,
+        "clients": args.clients,
+        "requests_per_client": args.requests,
+        "completed": completed,
+        "ok": sum(st.ok for st in all_stats),
+        "by_status": by_status,
+        "conn_errors": sum(st.conn_errors for st in all_stats),
+        "status_5xx": sum(n for code, n in by_status.items()
+                          if code.startswith("5")),
+        "elapsed_s": round(elapsed_s, 3),
+        "throughput_rps": round(completed / elapsed_s, 3)
+        if elapsed_s > 0 else 0.0,
+        "spec_events": sum(st.spec_events for st in all_stats),
+        "cached_events": sum(st.cached_events for st in all_stats),
+    }
+    if latencies:
+        report["latency_s"] = {
+            "p50": round(percentile(latencies, 50), 6),
+            "p90": round(percentile(latencies, 90), 6),
+            "p99": round(percentile(latencies, 99), 6),
+            "max": round(max(latencies), 6),
+        }
+    return report
+
+
+async def run_loadgen(args) -> Dict[str, object]:
+    path, payloads = build_payloads(args)
+    all_stats = [ClientStats() for _ in range(args.clients)]
+    t0 = time.monotonic()
+    await asyncio.gather(*(
+        _client_loop(i, args, path, payloads, all_stats[i])
+        for i in range(args.clients)))
+    return summarize(all_stats, time.monotonic() - t0, args)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-loadgen",
+        description="Closed-loop load generator for the simulation "
+                    "service (see docs/service.md).")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, required=True)
+    p.add_argument("--clients", type=int, default=16, metavar="N",
+                   help="concurrent closed-loop clients (default 16)")
+    p.add_argument("--requests", type=int, default=4, metavar="N",
+                   help="requests per client (default 4)")
+    p.add_argument("--mode", choices=("sweep", "run"), default="sweep")
+    p.add_argument("--figure", default="fig9",
+                   help="figure driving the workload (default fig9)")
+    p.add_argument("--scale", type=float, default=0.01,
+                   help="iteration-count scale (default 0.01)")
+    p.add_argument("--procs", type=int, default=4,
+                   help="machine size for traffic figures (default 4)")
+    p.add_argument("--sizes", type=lambda t: [int(s) for s in
+                                              t.split(",")],
+                   default=None, metavar="A,B,...",
+                   help="machine sizes for latency figures")
+    p.add_argument("--json", metavar="FILE", default=None,
+                   help="also write the report as JSON")
+    p.add_argument("--quiet", action="store_true")
+    return p
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.clients < 1 or args.requests < 1:
+        print("--clients and --requests must be >= 1", file=sys.stderr)
+        return 2
+    report = asyncio.run(run_loadgen(args))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+    if not args.quiet:
+        lat = report.get("latency_s", {})
+        print(f"loadgen: {report['completed']} requests "
+              f"({report['ok']} ok) in {report['elapsed_s']}s "
+              f"= {report['throughput_rps']} req/s")
+        if lat:
+            print(f"  latency p50={lat['p50']}s p90={lat['p90']}s "
+                  f"p99={lat['p99']}s max={lat['max']}s")
+        print(f"  statuses={report['by_status']} "
+              f"conn_errors={report['conn_errors']} "
+              f"spec_events={report['spec_events']} "
+              f"(cached {report['cached_events']})")
+    failed = report["status_5xx"] or report["conn_errors"]
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,214 @@
+"""Tiny Prometheus-text metrics, stdlib only.
+
+Counters, gauges and histograms with optional labels, rendered in the
+Prometheus text exposition format (version 0.0.4) for ``GET /metrics``.
+All mutation happens on the event-loop thread (or a single loadgen
+process), so there is no locking; values are plain dicts keyed by
+label-value tuples.
+
+Also home of :func:`percentile`, the nearest-rank percentile used by
+the load generator's latency report.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+#: default histogram buckets (seconds): spans sub-millisecond cache
+#: hits through multi-minute paper-scale simulations
+DEFAULT_BUCKETS = (0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+                   0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0)
+
+
+def _fmt(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape(text: str) -> str:
+    return (text.replace("\\", r"\\").replace("\n", r"\n")
+            .replace('"', r'\"'))
+
+
+class _Metric:
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str,
+                 label_names: Iterable[str] = ()) -> None:
+        self.name = name
+        self.help_text = help_text
+        self.label_names: Tuple[str, ...] = tuple(label_names)
+
+    def _key(self, labels: Dict[str, str]) -> Tuple[str, ...]:
+        if set(labels) != set(self.label_names):
+            raise ValueError(
+                f"{self.name}: expected labels {self.label_names}, "
+                f"got {tuple(sorted(labels))}")
+        return tuple(str(labels[n]) for n in self.label_names)
+
+    def _label_text(self, key: Tuple[str, ...]) -> str:
+        if not self.label_names:
+            return ""
+        inner = ",".join(f'{n}="{_escape(v)}"'
+                         for n, v in zip(self.label_names, key))
+        return "{" + inner + "}"
+
+    def samples(self) -> List[str]:
+        raise NotImplementedError
+
+    def render(self) -> List[str]:
+        return [f"# HELP {self.name} {self.help_text}",
+                f"# TYPE {self.name} {self.kind}"] + self.samples()
+
+
+class Counter(_Metric):
+    kind = "counter"
+
+    def __init__(self, name, help_text, label_names=()) -> None:
+        super().__init__(name, help_text, label_names)
+        self._values: Dict[Tuple[str, ...], float] = {}
+        if not self.label_names:
+            self._values[()] = 0.0
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        key = self._key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        return self._values.get(self._key(labels), 0.0)
+
+    def total(self) -> float:
+        return sum(self._values.values())
+
+    def samples(self) -> List[str]:
+        return [f"{self.name}{self._label_text(k)} {_fmt(v)}"
+                for k, v in sorted(self._values.items())]
+
+
+class Gauge(_Metric):
+    kind = "gauge"
+
+    def __init__(self, name, help_text, label_names=()) -> None:
+        super().__init__(name, help_text, label_names)
+        self._values: Dict[Tuple[str, ...], float] = {}
+        if not self.label_names:
+            self._values[()] = 0.0
+
+    def set(self, value: float, **labels: str) -> None:
+        self._values[self._key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        key = self._key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: str) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: str) -> float:
+        return self._values.get(self._key(labels), 0.0)
+
+    def samples(self) -> List[str]:
+        return [f"{self.name}{self._label_text(k)} {_fmt(v)}"
+                for k, v in sorted(self._values.items())]
+
+
+class Histogram(_Metric):
+    kind = "histogram"
+
+    def __init__(self, name, help_text, label_names=(),
+                 buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        super().__init__(name, help_text, label_names)
+        self.buckets: Tuple[float, ...] = tuple(sorted(buckets))
+        if not self.buckets:
+            raise ValueError("histogram needs at least one bucket")
+        # per label key: [bucket counts (+Inf last), sum, count]
+        self._values: Dict[Tuple[str, ...], list] = {}
+        if not self.label_names:
+            self._values[()] = self._fresh()
+
+    def _fresh(self) -> list:
+        return [[0] * (len(self.buckets) + 1), 0.0, 0]
+
+    def observe(self, value: float, **labels: str) -> None:
+        key = self._key(labels)
+        state = self._values.setdefault(key, self._fresh())
+        state[0][bisect_left(self.buckets, value)] += 1
+        state[1] += value
+        state[2] += 1
+
+    def count(self, **labels: str) -> int:
+        state = self._values.get(self._key(labels))
+        return 0 if state is None else state[2]
+
+    def sum(self, **labels: str) -> float:
+        state = self._values.get(self._key(labels))
+        return 0.0 if state is None else state[1]
+
+    def samples(self) -> List[str]:
+        lines: List[str] = []
+        for key, (counts, total, count) in sorted(self._values.items()):
+            acc = 0
+            for upper, n in zip(self.buckets + (math.inf,), counts):
+                acc += n
+                le = dict(zip(self.label_names, key))
+                inner = ",".join(
+                    [f'{k}="{_escape(v)}"' for k, v in le.items()]
+                    + [f'le="{_fmt(upper)}"'])
+                lines.append(f"{self.name}_bucket{{{inner}}} {acc}")
+            label_text = self._label_text(key)
+            lines.append(f"{self.name}_sum{label_text} {_fmt(total)}")
+            lines.append(f"{self.name}_count{label_text} {count}")
+        return lines
+
+
+class MetricsRegistry:
+    """Named metrics, rendered together in registration order."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, _Metric] = {}
+
+    def _register(self, metric: _Metric) -> _Metric:
+        if metric.name in self._metrics:
+            raise ValueError(f"metric {metric.name!r} already registered")
+        self._metrics[metric.name] = metric
+        return metric
+
+    def counter(self, name, help_text, label_names=()) -> Counter:
+        return self._register(Counter(name, help_text, label_names))
+
+    def gauge(self, name, help_text, label_names=()) -> Gauge:
+        return self._register(Gauge(name, help_text, label_names))
+
+    def histogram(self, name, help_text, label_names=(),
+                  buckets=DEFAULT_BUCKETS) -> Histogram:
+        return self._register(
+            Histogram(name, help_text, label_names, buckets))
+
+    def get(self, name: str) -> _Metric:
+        return self._metrics[name]
+
+    def render(self) -> str:
+        lines: List[str] = []
+        for metric in self._metrics.values():
+            lines.extend(metric.render())
+        return "\n".join(lines) + "\n"
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (``q`` in 0..100) of raw samples."""
+    if not samples:
+        raise ValueError("no samples")
+    ordered = sorted(samples)
+    if q <= 0:
+        return ordered[0]
+    if q >= 100:
+        return ordered[-1]
+    rank = math.ceil(q / 100.0 * len(ordered))
+    return ordered[max(0, rank - 1)]

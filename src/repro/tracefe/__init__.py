@@ -22,10 +22,11 @@ See :func:`parse_trace` / :func:`format_trace` for the file format and
 
 from repro.tracefe.trace import (
     TraceOp, TraceRecord, capture_program, format_trace, parse_trace,
-    run_trace, trace_program,
+    run_trace, trace_from_jsonable, trace_program, trace_to_jsonable,
 )
 
 __all__ = [
     "TraceOp", "TraceRecord", "capture_program", "format_trace",
     "parse_trace", "run_trace", "trace_program",
+    "trace_to_jsonable", "trace_from_jsonable",
 ]

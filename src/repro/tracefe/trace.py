@@ -41,6 +41,28 @@ class TraceRecord:
             base += f" {self.arg}"
         return base
 
+    def to_jsonable(self) -> Dict[str, Any]:
+        return {"node": self.node, "op": self.op.value,
+                "addr": self.addr, "arg": self.arg}
+
+    @classmethod
+    def from_jsonable(cls, data: Dict[str, Any]) -> "TraceRecord":
+        return cls(node=int(data["node"]), op=TraceOp(data["op"]),
+                   addr=int(data.get("addr", 0)),
+                   arg=int(data.get("arg", 0)))
+
+
+def trace_to_jsonable(records: Iterable[TraceRecord]
+                      ) -> List[Dict[str, Any]]:
+    """JSON-ready list form of a trace (the service's wire shape)."""
+    return [rec.to_jsonable() for rec in records]
+
+
+def trace_from_jsonable(data: Iterable[Dict[str, Any]]
+                        ) -> List[TraceRecord]:
+    """Inverse of :func:`trace_to_jsonable`."""
+    return [TraceRecord.from_jsonable(item) for item in data]
+
 
 def format_trace(records: Iterable[TraceRecord]) -> str:
     """Serialize records to the text trace format."""

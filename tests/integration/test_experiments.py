@@ -184,3 +184,57 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "Figure 14" in out
         assert "sr-u" in out
+
+
+class TestCliErrorPaths:
+    """Unknown names exit nonzero with suggestions, never a traceback
+    (run through ``python -m repro.experiments`` like a user would)."""
+
+    @staticmethod
+    def run_cli(*argv, cache_args=("--no-cache",)):
+        import os
+        import subprocess
+        import sys
+
+        import repro
+
+        env = dict(os.environ)
+        src_root = os.path.dirname(os.path.dirname(
+            os.path.abspath(repro.__file__)))
+        env["PYTHONPATH"] = src_root + os.pathsep + \
+            env.get("PYTHONPATH", "")
+        return subprocess.run(
+            [sys.executable, "-m", "repro.experiments",
+             *argv, *cache_args],
+            capture_output=True, text=True, env=env, timeout=120)
+
+    def test_unknown_figure_suggests_close_names(self):
+        out = self.run_cli("fig99")
+        assert out.returncode == 2
+        assert "unknown figure 'fig99'" in out.stderr
+        assert "did you mean" in out.stderr
+        assert "fig9" in out.stderr
+        assert "choose from" in out.stderr
+        assert "Traceback" not in out.stderr
+
+    def test_typoed_subcommand_suggests(self):
+        out = self.run_cli("modelchek")
+        assert out.returncode == 2
+        assert "did you mean" in out.stderr
+        assert "modelcheck" in out.stderr
+        assert "Traceback" not in out.stderr
+
+    def test_every_unknown_name_reported(self):
+        out = self.run_cli("fig99", "gif8")
+        assert out.returncode == 2
+        assert "fig99" in out.stderr and "gif8" in out.stderr
+
+    def test_did_you_mean_in_process(self, capsys):
+        assert main(["fig12a", "--no-cache"]) == 2
+        err = capsys.readouterr().err
+        assert "did you mean" in err and "fig12" in err
+
+    def test_bad_cache_max_mb_rejected(self, capsys):
+        rc = main(["fig9", "--cache-max-mb", "0", "--no-cache"])
+        assert rc == 2
+        assert "cache-max-mb" in capsys.readouterr().err

@@ -156,3 +156,50 @@ class TestCapture:
         assert got == [10, 10]
         assert [r.op for r in records] == [TraceOp.READ,
                                            TraceOp.ATOMIC_ADD]
+
+
+class TestJsonShape:
+    """The JSON wire shape of traces (consumed by service clients)."""
+
+    RECORDS = [
+        TraceRecord(0, TraceOp.READ, 0x40),
+        TraceRecord(0, TraceOp.WRITE, 0x40, 7),
+        TraceRecord(1, TraceOp.ATOMIC_ADD, 0x80, 2),
+        TraceRecord(1, TraceOp.COMPUTE, arg=50),
+        TraceRecord(0, TraceOp.FLUSH, 0x40),
+        TraceRecord(0, TraceOp.FENCE),
+    ]
+
+    def test_record_shape(self):
+        blob = TraceRecord(1, TraceOp.WRITE, 0x40, 7).to_jsonable()
+        assert blob == {"node": 1, "op": "W", "addr": 0x40, "arg": 7}
+
+    def test_list_round_trip_through_json(self):
+        import json as _json
+
+        from repro.tracefe import trace_from_jsonable, trace_to_jsonable
+
+        wire = _json.loads(_json.dumps(trace_to_jsonable(self.RECORDS)))
+        assert trace_from_jsonable(wire) == self.RECORDS
+
+    def test_shape_is_strict_json(self):
+        from repro.tracefe import trace_to_jsonable
+
+        for item in trace_to_jsonable(self.RECORDS):
+            assert set(item) == {"node", "op", "addr", "arg"}
+            assert isinstance(item["node"], int)
+            assert isinstance(item["op"], str)
+            assert isinstance(item["addr"], int)
+            assert isinstance(item["arg"], int)
+
+    def test_from_jsonable_defaults(self):
+        from repro.tracefe import trace_from_jsonable
+
+        records = trace_from_jsonable([{"node": 0, "op": "B"}])
+        assert records == [TraceRecord(0, TraceOp.FENCE)]
+
+    def test_bad_op_rejected(self):
+        from repro.tracefe import trace_from_jsonable
+
+        with pytest.raises(ValueError):
+            trace_from_jsonable([{"node": 0, "op": "Z"}])

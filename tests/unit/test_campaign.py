@@ -5,12 +5,13 @@ import json
 import os
 import subprocess
 import sys
+import time
 
 import pytest
 
 from repro.campaign import (
     CampaignError, CampaignRunner, ResultCache, RunRecord, RunSpec,
-    canonical_json, execute_spec, register_workload,
+    SpecTimeoutError, canonical_json, execute_spec, register_workload,
     config_from_jsonable, config_to_jsonable,
     run_result_from_jsonable, run_result_to_jsonable,
 )
@@ -200,6 +201,77 @@ class TestResultCache:
 
 
 # ----------------------------------------------------------------------
+# cache pruning (LRU by mtime)
+# ----------------------------------------------------------------------
+
+class TestCachePrune:
+    def fill(self, cache, count=4):
+        """Store ``count`` records with strictly increasing mtimes."""
+        specs = [lock_spec(total_acquires=8 + i) for i in range(count)]
+        paths = []
+        for i, spec in enumerate(specs):
+            path = cache.put(execute_spec(spec))
+            os.utime(path, (1_000_000 + i, 1_000_000 + i))
+            paths.append(path)
+        return specs, paths
+
+    def test_prune_noop_under_limit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        self.fill(cache)
+        assert cache.prune(cache.total_bytes()) == 0
+        assert len(cache) == 4
+
+    def test_prune_evicts_oldest_first(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        specs, paths = self.fill(cache)
+        # budget = the two newest files: exactly the oldest two go
+        budget = sum(os.path.getsize(p) for p in paths[2:])
+        removed = cache.prune(budget)
+        assert removed == 2
+        assert cache.get(specs[0]) is None
+        assert cache.get(specs[1]) is None
+        assert cache.get(specs[2]) is not None
+        assert cache.get(specs[3]) is not None
+
+    def test_get_refreshes_lru_position(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        specs, paths = self.fill(cache)
+        # a hit on the oldest entry promotes it past the others
+        assert cache.get(specs[0]) is not None
+        budget = os.path.getsize(paths[0]) + os.path.getsize(paths[3])
+        cache.prune(budget)
+        assert cache.get(specs[0]) is not None
+        assert cache.get(specs[1]) is None
+
+    def test_prune_to_zero_empties_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        self.fill(cache)
+        cache.prune(0)
+        assert len(cache) == 0
+        assert cache.total_bytes() == 0
+
+    def test_prune_tolerates_corrupt_and_tmp_files(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        specs, paths = self.fill(cache)
+        with open(paths[2], "w") as fh:
+            fh.write("{not json")        # corrupt entry, still a file
+        shard = os.path.dirname(paths[0])
+        dropping = os.path.join(shard, "crashed-writer.tmp")
+        with open(dropping, "w") as fh:
+            fh.write("x" * 10_000)
+        # tmp droppings are reclaimed even when already under budget
+        assert cache.prune(cache.total_bytes()) >= 1
+        assert not os.path.exists(dropping)
+        cache.prune(0)
+        assert cache.total_bytes() == 0
+
+    def test_prune_missing_root(self, tmp_path):
+        cache = ResultCache(tmp_path / "never-created")
+        assert cache.prune(0) == 0
+        assert cache.total_bytes() == 0
+
+
+# ----------------------------------------------------------------------
 # runner
 # ----------------------------------------------------------------------
 
@@ -278,3 +350,97 @@ class TestCampaignRunner:
         report = CampaignRunner().run(
             [RunSpec.make("unit-test-const", tiny_config(), x=21)])
         assert report.records[0].metrics["answer"] == 42
+
+
+# ----------------------------------------------------------------------
+# per-spec timeouts and cancellation
+# ----------------------------------------------------------------------
+
+@register_workload("unit-test-slow")
+def _slow_workload(spec):
+    import time as _time
+    _time.sleep(spec.params_dict.get("sleep_s", 10.0))
+    return None, {"slept": 1.0}
+
+
+def slow_spec(sleep_s: float = 10.0) -> RunSpec:
+    return RunSpec.make("unit-test-slow", tiny_config(),
+                        sleep_s=sleep_s)
+
+
+class TestSpecTimeout:
+    def test_execute_spec_times_out(self):
+        record = execute_spec(slow_spec(), timeout_s=0.1)
+        assert not record.ok
+        assert record.error_type == "SpecTimeoutError"
+        assert "timeout" in record.error
+        assert record.elapsed_s < 5.0
+
+    def test_fast_spec_unaffected(self):
+        record = execute_spec(slow_spec(sleep_s=0.01), timeout_s=5.0)
+        assert record.ok
+        assert record.metrics["slept"] == 1.0
+
+    def test_runner_records_timeout_instead_of_hanging(self):
+        """Regression: a stuck workload must land as a failed record
+        rather than wedging the whole campaign (satellite #2)."""
+        runner = CampaignRunner(jobs=1, spec_timeout_s=0.1)
+        t0 = time.perf_counter()
+        report = runner.run([slow_spec(), lock_spec()])
+        elapsed = time.perf_counter() - t0
+        assert elapsed < 5.0
+        assert report.failed == 1
+        assert report.records[0].error_type == "SpecTimeoutError"
+        assert report.records[1].ok
+        with pytest.raises(CampaignError, match="timeout"):
+            report.raise_on_failure()
+
+    def test_timeouts_never_cached(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        runner = CampaignRunner(jobs=1, cache=cache,
+                                spec_timeout_s=0.1)
+        runner.run([slow_spec()])
+        assert cache.get(slow_spec()) is None
+
+    def test_timeout_validation(self):
+        with pytest.raises(ValueError):
+            CampaignRunner(spec_timeout_s=0)
+        with pytest.raises(ValueError):
+            CampaignRunner(spec_timeout_s=-1)
+
+    def test_default_is_no_timeout(self):
+        record = execute_spec(slow_spec(sleep_s=0.01))
+        assert record.ok
+
+
+class TestCancellation:
+    def test_cancel_lands_remaining_as_cancelled(self):
+        specs = [lock_spec(total_acquires=8 + i) for i in range(4)]
+        done = []
+
+        def cancel():
+            return len(done) >= 1
+
+        report = CampaignRunner(jobs=1).run(
+            specs, progress=lambda i, s, r: done.append(i),
+            cancel=cancel)
+        assert report.executed == 1
+        assert report.cancelled == 3
+        assert report.failed == 3       # cancelled positions are not ok
+        kinds = [r.error_type for r in report.records if not r.ok]
+        assert kinds == ["Cancelled"] * 3
+        assert len(report.records) == 4         # fully populated
+        assert not report.ok
+
+    def test_cancelled_specs_not_cached(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        specs = [lock_spec(total_acquires=8 + i) for i in range(3)]
+        CampaignRunner(jobs=1, cache=cache).run(
+            specs, cancel=lambda: True)
+        assert len(cache) == 0
+
+    def test_no_cancel_runs_everything(self):
+        specs = [lock_spec(total_acquires=8 + i) for i in range(3)]
+        report = CampaignRunner(jobs=1).run(specs,
+                                            cancel=lambda: False)
+        assert report.executed == 3 and report.cancelled == 0

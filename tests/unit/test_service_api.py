@@ -1,0 +1,158 @@
+"""Unit tests for service request validation (JSON -> RunSpec)."""
+
+import pytest
+
+from repro.config import Protocol
+from repro.service import api
+from repro.service.httpio import HttpError
+
+
+def err400(fn, *args):
+    with pytest.raises(HttpError) as err:
+        fn(*args)
+    assert err.value.status == 400
+    return err.value.message
+
+
+RUN_BODY = {"workload": "lock",
+            "config": {"num_procs": 2, "protocol": "pu"},
+            "params": {"kind": "tk", "total_acquires": 8}}
+
+
+class TestRunRequests:
+    def test_valid_body_builds_spec(self):
+        point, deadline = api.run_from_request(dict(RUN_BODY), 300.0)
+        assert point.spec.workload == "lock"
+        assert point.spec.config.num_procs == 2
+        assert point.spec.config.protocol is Protocol.PU
+        assert point.spec.params_dict["kind"] == "tk"
+        assert deadline == 300.0
+
+    def test_spec_matches_direct_construction(self):
+        """The service builds specs through RunSpec.make, so the key
+        (and therefore the cache entry) matches an offline run."""
+        from repro.campaign import RunSpec
+        from repro.config import MachineConfig
+
+        direct = RunSpec.make(
+            "lock", MachineConfig(num_procs=2, protocol=Protocol.PU),
+            kind="tk", total_acquires=8)
+        point = api.spec_from_request(dict(RUN_BODY))
+        assert point.spec.key == direct.key
+
+    def test_label_defaults_to_describe(self):
+        point = api.spec_from_request(dict(RUN_BODY))
+        assert point.label
+        labelled = api.spec_from_request(
+            dict(RUN_BODY, label="mine"))
+        assert labelled.label == "mine"
+
+    def test_unknown_workload_suggests(self):
+        msg = err400(api.spec_from_request, dict(RUN_BODY,
+                                                 workload="lok"))
+        assert "unknown workload" in msg and "did you mean" in msg
+        assert "lock" in msg
+
+    def test_unknown_top_level_field_suggests(self):
+        msg = err400(api.spec_from_request,
+                     dict(RUN_BODY, paramz={"x": 1}))
+        assert "unknown run field" in msg and "params" in msg
+
+    def test_unknown_config_field_suggests(self):
+        body = dict(RUN_BODY, config={"num_prcs": 2})
+        msg = err400(api.spec_from_request, body)
+        assert "num_procs" in msg
+
+    def test_bad_protocol_name(self):
+        body = dict(RUN_BODY, config={"protocol": "mesi"})
+        err400(api.spec_from_request, body)
+
+    def test_workload_required(self):
+        body = dict(RUN_BODY)
+        del body["workload"]
+        msg = err400(api.spec_from_request, body)
+        assert "workload" in msg
+
+    def test_non_object_body(self):
+        err400(api.spec_from_request, [1, 2])
+        err400(api.spec_from_request, "lock")
+
+    def test_bad_params_surface_as_400(self):
+        msg = err400(api.spec_from_request,
+                     dict(RUN_BODY, params={"kind": ["tk"]}))
+        assert "scalar" in msg
+
+    def test_deadline_override(self):
+        _, d = api.run_from_request(
+            dict(RUN_BODY, deadline_s=5), 300.0)
+        assert d == 5.0
+        _, d = api.run_from_request(
+            dict(RUN_BODY, deadline_s=None), 300.0)
+        assert d is None
+        err400(api.run_from_request, dict(RUN_BODY, deadline_s=-1),
+               300.0)
+        err400(api.run_from_request, dict(RUN_BODY, deadline_s=True),
+               300.0)
+
+
+class TestSweepRequests:
+    def test_figure_sweep(self):
+        fid, points, deadline = api.sweep_from_request(
+            {"figure": "fig9", "scale": 0.01, "procs": 2}, 300.0)
+        assert fid == "fig9"
+        assert len(points) == 9
+        assert len({pt.spec.key for pt in points}) == 9
+        assert deadline == 300.0
+
+    def test_figure_matches_cli_points(self):
+        from repro.config import ExperimentScale
+        from repro.experiments.figures import figure_points
+
+        _, points, _ = api.sweep_from_request(
+            {"figure": "fig9", "scale": 0.01, "procs": 2}, None)
+        direct = figure_points(
+            "fig9", scale=ExperimentScale.scaled(0.01), P=2)
+        assert [pt.spec.key for pt in points] == \
+            [pt.spec.key for pt in direct]
+
+    def test_paper_scale_string(self):
+        _, points, _ = api.sweep_from_request(
+            {"figure": "fig9", "scale": "paper", "procs": 2}, None)
+        assert points
+
+    def test_raw_specs_sweep(self):
+        fid, points, _ = api.sweep_from_request(
+            {"specs": [dict(RUN_BODY), dict(RUN_BODY, label="b")]},
+            None)
+        assert fid is None
+        assert len(points) == 2
+        assert points[1].label == "b"
+
+    def test_unknown_figure_suggests(self):
+        msg = err400(api.sweep_from_request, {"figure": "fig99"}, None)
+        assert "did you mean" in msg and "fig9" in msg
+
+    def test_figure_and_specs_exclusive(self):
+        err400(api.sweep_from_request,
+               {"figure": "fig9", "specs": [dict(RUN_BODY)]}, None)
+
+    def test_empty_or_huge_specs_rejected(self):
+        err400(api.sweep_from_request, {"specs": []}, None)
+        msg = err400(
+            api.sweep_from_request,
+            {"specs": [dict(RUN_BODY)] * (api.MAX_SWEEP_SPECS + 1)},
+            None)
+        assert str(api.MAX_SWEEP_SPECS) in msg
+
+    def test_bad_scalars_rejected(self):
+        err400(api.sweep_from_request,
+               {"figure": "fig9", "scale": -1}, None)
+        err400(api.sweep_from_request,
+               {"figure": "fig9", "procs": 0}, None)
+        err400(api.sweep_from_request,
+               {"figure": "fig8", "sizes": [2, 0]}, None)
+        err400(api.sweep_from_request,
+               {"figure": "fig9", "sanitize": "yes"}, None)
+
+    def test_needs_figure_or_specs(self):
+        err400(api.sweep_from_request, {}, None)

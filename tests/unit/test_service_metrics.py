@@ -1,0 +1,143 @@
+"""Unit tests for the stdlib Prometheus metrics used by the service."""
+
+import math
+
+import pytest
+
+from repro.service.metrics import (
+    Counter, Gauge, Histogram, MetricsRegistry, percentile,
+)
+
+
+class TestCounter:
+    def test_unlabeled_renders_at_zero(self):
+        c = Counter("x_total", "help me")
+        assert c.samples() == ["x_total 0"]
+
+    def test_inc_and_value(self):
+        c = Counter("x_total", "h")
+        c.inc()
+        c.inc(2)
+        assert c.value() == 3
+        assert c.samples() == ["x_total 3"]
+
+    def test_labels(self):
+        c = Counter("req_total", "h", ("route", "code"))
+        c.inc(route="run", code="200")
+        c.inc(route="run", code="200")
+        c.inc(route="sweep", code="429")
+        assert c.value(route="run", code="200") == 2
+        assert c.total() == 3
+        assert c.samples() == [
+            'req_total{route="run",code="200"} 2',
+            'req_total{route="sweep",code="429"} 1',
+        ]
+
+    def test_missing_label_rejected(self):
+        c = Counter("x_total", "h", ("route",))
+        with pytest.raises(ValueError):
+            c.inc()
+        with pytest.raises(ValueError):
+            c.inc(route="a", extra="b")
+
+    def test_counters_only_go_up(self):
+        with pytest.raises(ValueError):
+            Counter("x_total", "h").inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("depth", "h")
+        g.set(5)
+        g.inc()
+        g.dec(2)
+        assert g.value() == 4
+        assert g.samples() == ["depth 4"]
+
+    def test_label_value_escaping(self):
+        g = Gauge("g", "h", ("name",))
+        g.set(1, name='a"b\nc\\d')
+        line = g.samples()[0]
+        assert r'\"' in line and r'\n' in line and r'\\' in line
+
+
+class TestHistogram:
+    def test_cumulative_buckets(self):
+        h = Histogram("lat", "h", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 0.5, 5.0, 50.0):
+            h.observe(v)
+        lines = h.samples()
+        assert lines == [
+            'lat_bucket{le="0.1"} 1',
+            'lat_bucket{le="1"} 3',
+            'lat_bucket{le="10"} 4',
+            'lat_bucket{le="+Inf"} 5',
+            "lat_sum 56.05",
+            "lat_count 5",
+        ]
+        assert h.count() == 5
+        assert h.sum() == pytest.approx(56.05)
+
+    def test_boundary_lands_in_its_bucket(self):
+        # Prometheus buckets are `le` (inclusive upper bound)
+        h = Histogram("lat", "h", buckets=(1.0,))
+        h.observe(1.0)
+        assert h.samples()[0] == 'lat_bucket{le="1"} 1'
+
+    def test_labeled_histogram(self):
+        h = Histogram("lat", "h", ("route",), buckets=(1.0,))
+        h.observe(0.5, route="run")
+        h.observe(2.0, route="run")
+        lines = h.samples()
+        assert 'lat_bucket{route="run",le="1"} 1' in lines
+        assert 'lat_bucket{route="run",le="+Inf"} 2' in lines
+        assert 'lat_count{route="run"} 2' in lines
+
+    def test_needs_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("lat", "h", buckets=())
+
+
+class TestRegistry:
+    def test_render_has_help_and_type(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total", "count of a")
+        reg.gauge("b", "level of b")
+        text = reg.render()
+        assert "# HELP a_total count of a" in text
+        assert "# TYPE a_total counter" in text
+        assert "# TYPE b gauge" in text
+        assert text.endswith("\n")
+
+    def test_duplicate_name_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total", "h")
+        with pytest.raises(ValueError):
+            reg.gauge("a_total", "h")
+
+    def test_get(self):
+        reg = MetricsRegistry()
+        c = reg.counter("a_total", "h")
+        assert reg.get("a_total") is c
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        data = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10]
+        assert percentile(data, 50) == 5
+        assert percentile(data, 90) == 9
+        assert percentile(data, 99) == 10
+        assert percentile(data, 0) == 1
+        assert percentile(data, 100) == 10
+
+    def test_unsorted_input(self):
+        assert percentile([5, 1, 3], 50) == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_inf_renders_as_prometheus_inf(self):
+        h = Histogram("lat", "h", buckets=(math.inf,))
+        h.observe(1.0)
+        assert h.samples()[0] == 'lat_bucket{le="+Inf"} 1'

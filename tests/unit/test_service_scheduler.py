@@ -1,0 +1,198 @@
+"""Unit tests for the scheduler: admission, single-flight, deadlines.
+
+Simulation execution is stubbed by overriding ``SimScheduler._execute``
+(the documented test seam), so these tests never fork a process pool.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.campaign import ResultCache, RunRecord, RunSpec
+from repro.config import MachineConfig, Protocol
+from repro.service.scheduler import (
+    DeadlineExceeded, Draining, QueueFull, SimScheduler,
+)
+
+
+def spec(n: int = 8) -> RunSpec:
+    cfg = MachineConfig(num_procs=2, protocol=Protocol.PU)
+    return RunSpec.make("lock", cfg, kind="tk", total_acquires=n)
+
+
+def ok_record(s: RunSpec) -> RunRecord:
+    return RunRecord(key=s.key, workload=s.workload, ok=True,
+                     metrics={"answer": 1.0})
+
+
+class FakeScheduler(SimScheduler):
+    """Counts executions; optionally blocks until released."""
+
+    def __init__(self, *args, blocking=False, fail=False, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.calls = []
+        self.release = asyncio.Event()
+        self.blocking = blocking
+        self.fail = fail
+
+    async def _execute(self, s: RunSpec) -> RunRecord:
+        self.calls.append(s.key)
+        if self.blocking:
+            await self.release.wait()
+        if self.fail:
+            return RunRecord(key=s.key, workload=s.workload, ok=False,
+                             error="boom", error_type="ValueError")
+        return ok_record(s)
+
+
+class TestAdmission:
+    def test_cache_hit_returns_record(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        s = spec()
+        cache.put(ok_record(s))
+
+        async def go():
+            sched = FakeScheduler(jobs=1, cache=cache)
+            handle = sched.admit(s)
+            assert isinstance(handle, RunRecord)
+            assert handle.cached
+            rec = await sched.result(handle, 1.0)
+            assert rec.key == s.key
+            assert sched.calls == []
+            assert sched.m_cache.value(result="hit") == 1
+        asyncio.run(go())
+
+    def test_miss_executes_and_caches(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        s = spec()
+
+        async def go():
+            sched = FakeScheduler(jobs=1, cache=cache)
+            rec = await sched.result(sched.admit(s), 5.0)
+            assert rec.ok and sched.calls == [s.key]
+            assert sched.m_specs.value(status="executed") == 1
+        asyncio.run(go())
+        assert cache.get(s) is not None
+
+    def test_single_flight_within_batch_and_across(self):
+        async def go():
+            sched = FakeScheduler(jobs=1, blocking=True)
+            handles = sched.admit_many([spec(), spec(), spec()])
+            other = sched.admit(spec())
+            assert handles[0] is handles[1] is handles[2] is other
+            assert sched.pending == 1
+            assert sched.m_dedup.value() == 3
+            sched.release.set()
+            rec = await sched.result(handles[0], 5.0)
+            assert rec.ok and sched.calls == [spec().key]
+        asyncio.run(go())
+
+    def test_queue_full_rejects_whole_batch(self):
+        async def go():
+            sched = FakeScheduler(jobs=1, max_queue=2, blocking=True)
+            sched.admit_many([spec(1), spec(2)])
+            with pytest.raises(QueueFull) as err:
+                sched.admit_many([spec(3), spec(4)])
+            assert err.value.retry_after_s >= 1
+            # nothing from the rejected batch was admitted
+            assert sched.pending == 2
+            assert sched.m_rejected.value() == 1
+            # joining in-flight work is still allowed when full
+            assert sched.admit(spec(1)) is not None
+            sched.release.set()
+        asyncio.run(go())
+
+    def test_failed_records_not_cached(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        s = spec()
+
+        async def go():
+            sched = FakeScheduler(jobs=1, cache=cache, fail=True)
+            rec = await sched.result(sched.admit(s), 5.0)
+            assert not rec.ok
+            assert sched.m_specs.value(status="failed") == 1
+        asyncio.run(go())
+        assert cache.get(s) is None
+
+    def test_draining_rejects_admission(self):
+        async def go():
+            sched = FakeScheduler(jobs=1)
+            await sched.drain(grace_s=0.1)
+            with pytest.raises(Draining):
+                sched.admit(spec())
+        asyncio.run(go())
+
+
+class TestDeadline:
+    def test_deadline_aborts_wait_not_sim(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        s = spec()
+
+        async def go():
+            sched = FakeScheduler(jobs=1, cache=cache, blocking=True)
+            handle = sched.admit(s)
+            with pytest.raises(DeadlineExceeded):
+                await sched.result(handle, 0.05)
+            # the simulation is still in flight and finishes normally
+            assert sched.inflight_key(s.key) is not None
+            sched.release.set()
+            rec = await sched.result(sched.admit(s), 5.0)
+            assert rec.ok
+        asyncio.run(go())
+        assert cache.get(s) is not None
+
+    def test_no_deadline_waits(self):
+        async def go():
+            sched = FakeScheduler(jobs=1)
+            rec = await sched.result(sched.admit(spec()), None)
+            assert rec.ok
+        asyncio.run(go())
+
+
+class TestDrain:
+    def test_drain_finishes_inflight(self):
+        async def go():
+            sched = FakeScheduler(jobs=1, blocking=True)
+            handle = sched.admit(spec())
+            asyncio.get_running_loop().call_later(
+                0.05, sched.release.set)
+            clean = await sched.drain(grace_s=5.0)
+            assert clean
+            rec = await sched.result(handle, 1.0)
+            assert rec.ok
+        asyncio.run(go())
+
+    def test_drain_grace_can_expire(self):
+        async def go():
+            sched = FakeScheduler(jobs=1, blocking=True)
+            sched.admit(spec())
+            clean = await sched.drain(grace_s=0.05)
+            assert not clean
+            sched.release.set()
+        asyncio.run(go())
+
+
+class TestMetricsFlow:
+    def test_gauges_track_pending(self):
+        async def go():
+            sched = FakeScheduler(jobs=1, blocking=True)
+            sched.admit_many([spec(1), spec(2), spec(3)])
+            await asyncio.sleep(0)      # let tasks reach _execute
+            assert sched.pending == 3
+            assert sched.running == 1           # jobs=1 semaphore
+            assert sched.m_queue.value() == 2
+            assert sched.m_inflight.value() == 1
+            sched.release.set()
+            recs = [await sched.result(h, 5.0)
+                    for h in sched.admit_many([spec(1), spec(2),
+                                               spec(3)])]
+            assert all(r.ok for r in recs)
+            assert sched.pending == 0
+            assert sched.m_latency.count() == 3
+        asyncio.run(go())
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            SimScheduler(jobs=0)
+        with pytest.raises(ValueError):
+            SimScheduler(max_queue=0)

@@ -91,3 +91,40 @@ class TestTimeline:
             return r.total_cycles, r.misses
 
         assert build(True) == build(False)
+
+
+class TestJsonShape:
+    """Timeline JSON shape (streamed by the service; keep it stable)."""
+
+    def test_top_level_shape(self):
+        import json as _json
+
+        m, tl, _ = run_instrumented()
+        blob = _json.loads(_json.dumps(tl.to_jsonable()))
+        assert set(blob) == {"horizon", "procs"}
+        assert blob["horizon"] == m.sim.now
+        assert set(blob["procs"]) == {"0", "1"}   # string node keys
+
+    def test_per_proc_shape(self):
+        m, tl, _ = run_instrumented()
+        blob = tl.to_jsonable()
+        for node in ("0", "1"):
+            proc = blob["procs"][node]
+            assert set(proc) == {"intervals", "fractions"}
+            for iv in proc["intervals"]:
+                assert set(iv) == {"start", "end", "state"}
+                assert isinstance(iv["start"], int)
+                assert isinstance(iv["end"], int)
+                assert iv["start"] < iv["end"]
+                assert CpuState(iv["state"])    # valid enum value
+            assert abs(sum(proc["fractions"].values()) - 1.0) < 1e-9
+
+    def test_intervals_match_accessors(self):
+        m, tl, _ = run_instrumented()
+        blob = tl.to_jsonable()
+        direct = [iv.to_jsonable() for iv in tl.intervals(0)]
+        assert blob["procs"]["0"]["intervals"] == direct
+
+    def test_horizon_override(self):
+        m, tl, _ = run_instrumented()
+        assert tl.to_jsonable(until=123)["horizon"] == 123
