@@ -106,6 +106,11 @@ def main(argv: List[str] = None) -> int:
         # counterexample replay instead of regenerating figures
         from repro.experiments.modelcheck import main as mc_main
         return mc_main(argv[1:])
+    if argv and argv[0] == "staticcheck":
+        # static protocol analysis: transition-table checks + AST
+        # conformance, no simulation (docs/staticcheck.md)
+        from repro.experiments.staticcheck import main as sc_main
+        return sc_main(argv[1:])
     if argv and argv[0] == "serve":
         # simulation-serving gateway (docs/service.md)
         from repro.service.gateway import main as serve_main
@@ -121,7 +126,8 @@ def main(argv: List[str] = None) -> int:
         wanted = list(FIGURES)
     unknown = [f for f in wanted if f not in FIGURES]
     if unknown:
-        subcommands = ("check", "modelcheck", "serve", "loadgen")
+        subcommands = ("check", "modelcheck", "staticcheck", "serve",
+                       "loadgen")
         candidates = list(FIGURES) + list(subcommands)
         for name in unknown:
             close = difflib.get_close_matches(name, candidates, n=3,

@@ -20,9 +20,10 @@ like the ``check-*`` suite does.
 from __future__ import annotations
 
 import argparse
+import difflib
 import os
 import sys
-from typing import List, Optional, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 from repro.campaign import RunSpec, register_workload
 from repro.config import Protocol
@@ -123,7 +124,24 @@ def build_parser() -> argparse.ArgumentParser:
 def _parse_protocols(names: Optional[List[str]]) -> List[Protocol]:
     if not names:
         return list(MODEL_CHECK_PROTOCOLS)
+    known = [p.value for p in MODEL_CHECK_PROTOCOLS]
+    if _reject_unknown("protocol", [n.lower() for n in names], known):
+        return []
     return [Protocol.parse(n) for n in names]
+
+
+def _reject_unknown(kind: str, names: Iterable[str],
+                    known: Iterable[str]) -> bool:
+    """Print a did-you-mean line per unknown name; True if any."""
+    known = list(known)
+    bad = [n for n in names if n not in known]
+    for name in bad:
+        close = difflib.get_close_matches(name, known, n=3, cutoff=0.4)
+        hint = f"; did you mean {', '.join(close)}?" if close else ""
+        print(f"unknown {kind} {name!r}{hint}", file=sys.stderr)
+    if bad:
+        print(f"choose from: {', '.join(known)}", file=sys.stderr)
+    return bool(bad)
 
 
 def _save_ce(out_dir: str, filename: str, result, quiet: bool) -> str:
@@ -139,7 +157,11 @@ def _save_ce(out_dir: str, filename: str, result, quiet: bool) -> str:
 
 def _sweep(args) -> int:
     programs = args.program or list(PROGRAMS)
+    if _reject_unknown("program", programs, PROGRAMS):
+        return 2
     protocols = _parse_protocols(args.protocol)
+    if not protocols:
+        return 2
     failed = 0
     incomplete = 0
     for name in programs:
@@ -177,6 +199,8 @@ def _sweep(args) -> int:
 
 def _mutants(args) -> int:
     names = args.mutant or list(MUTATIONS)
+    if _reject_unknown("mutation", names, MUTATIONS):
+        return 2
     all_ok = True
     for name in names:
         mut = get_mutation(name)

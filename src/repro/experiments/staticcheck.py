@@ -1,0 +1,196 @@
+"""``python -m repro.experiments staticcheck``: static protocol checks.
+
+Runs, without a single simulated cycle:
+
+* the spec analyzer (completeness / contradiction / reachability /
+  ambiguity / progress / vocabulary / routing) over the declarative
+  transition tables of :mod:`repro.protospec`, and
+* the AST conformance pass diffing each protocol controller's handlers
+  against its table,
+
+for any subset of WI / PU / CU / HYBRID.  Findings can be suppressed
+via a JSON manifest (every suppression needs a written reason; stale
+entries are themselves findings).  Exit status is 0 iff no unsuppressed
+finding remains.
+
+``--mutants`` validates the conformance pass the same way
+``modelcheck --mutants`` validates the explorer: each seeded protocol
+mutation is activated and the pass must flag the drift statically,
+with a file:line pointing at the mutated handler.
+"""
+
+from __future__ import annotations
+
+import argparse
+import difflib
+import json
+import os
+import sys
+from typing import List, Optional
+
+from repro.config import Protocol
+from repro.protocols import _CTRL_CLASSES
+from repro.protospec import get_spec
+from repro.staticcheck import (
+    DEFAULT_SUPPRESSIONS, StaticCheckReport, SuppressionError,
+    analyze_spec, check_conformance, load_suppressions,
+)
+
+#: analysis order (and the --protocol default)
+ALL_PROTOCOLS = (Protocol.WI, Protocol.PU, Protocol.CU, Protocol.HYBRID)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-experiments staticcheck",
+        description="Statically check the protocol transition tables "
+                    "and their conformance with the handler source.")
+    p.add_argument("--protocol", action="append", metavar="PROTO",
+                   help="protocol(s) to check (default: wi,pu,cu,"
+                        "hybrid)")
+    p.add_argument("--suppressions", metavar="FILE",
+                   default=DEFAULT_SUPPRESSIONS,
+                   help="suppression manifest (default: the packaged "
+                        "manifest)")
+    p.add_argument("--no-suppressions", action="store_true",
+                   help="ignore the suppression manifest entirely")
+    p.add_argument("--json", metavar="FILE", default=None,
+                   help="also write the full report as JSON (for CI "
+                        "artifacts)")
+    p.add_argument("--dump-specs", metavar="DIR", default=None,
+                   help="write each checked protocol's table as "
+                        "DIR/<proto>.json and exit")
+    p.add_argument("--mutants", action="store_true",
+                   help="validate the conformance pass against the "
+                        "seeded protocol mutations instead of "
+                        "checking the pristine tree")
+    p.add_argument("--mutant", action="append", metavar="NAME",
+                   help="with --mutants: restrict to these mutations")
+    p.add_argument("--quiet", action="store_true",
+                   help="only print findings and the final tally")
+    return p
+
+
+def _parse_protocols(names: Optional[List[str]],
+                     parser: argparse.ArgumentParser) -> List[Protocol]:
+    if not names:
+        return list(ALL_PROTOCOLS)
+    out = []
+    for n in names:
+        try:
+            out.append(Protocol.parse(n))
+        except (KeyError, ValueError):
+            known = [p.value for p in ALL_PROTOCOLS]
+            close = difflib.get_close_matches(n.lower(), known, n=1,
+                                              cutoff=0.4)
+            hint = f"; did you mean {close[0]!r}?" if close else ""
+            parser.error(f"unknown protocol {n!r}{hint} "
+                         f"(choose from {', '.join(known)})")
+    return out
+
+
+def run_staticcheck(protocols: List[Protocol]) -> StaticCheckReport:
+    """Analyzer + conformance over the given protocols, unsuppressed."""
+    report = StaticCheckReport()
+    for proto in protocols:
+        spec = get_spec(proto)
+        report.extend(analyze_spec(spec))
+        report.extend(check_conformance(spec, _CTRL_CLASSES[proto]))
+    return report
+
+
+def _check(args, protocols: List[Protocol]) -> int:
+    report = run_staticcheck(protocols)
+    if not args.no_suppressions:
+        try:
+            table = load_suppressions(args.suppressions)
+        except (OSError, ValueError, SuppressionError) as exc:
+            print(f"staticcheck: bad suppression manifest: {exc}",
+                  file=sys.stderr)
+            return 2
+        report.apply_suppressions(table)
+    print(report.render())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(report.to_json([p.value for p in protocols]), fh,
+                      indent=2, sort_keys=True)
+        if not args.quiet:
+            print(f"  [wrote {args.json}]", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
+def _mutants(args, protocols: List[Protocol]) -> int:
+    from repro.modelcheck.mutations import MUTATIONS, get_mutation
+
+    names = args.mutant or list(MUTATIONS)
+    try:
+        muts = [get_mutation(n) for n in names]
+    except KeyError as exc:
+        print(f"staticcheck: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    # the pristine tree must be clean, or detection means nothing
+    baseline = run_staticcheck(protocols)
+    if baseline.findings:
+        print("staticcheck --mutants: baseline is not clean; fix (or "
+              "suppress) these before validating mutations:")
+        print(baseline.render())
+        return 1
+
+    results = {}
+    all_ok = True
+    for mut in muts:
+        with mut.activate():
+            report = run_staticcheck(protocols)
+        found = [f for f in report.findings if f.check == "conformance"]
+        results[mut.name] = [f.to_json() for f in found]
+        if found:
+            print(f"{mut.name:<24} DETECTED "
+                  f"({len(found)} conformance finding(s))")
+            if not args.quiet:
+                for f in found:
+                    loc = f" at {f.location()}" if f.file else ""
+                    print(f"    {f.ident}{loc}")
+        else:
+            print(f"{mut.name:<24} NOT DETECTED: the conformance pass "
+                  f"saw no drift")
+            all_ok = False
+    if args.json:
+        payload = {"mutations": results,
+                   "ok": all_ok,
+                   "protocols": [p.value for p in protocols]}
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        if not args.quiet:
+            print(f"  [wrote {args.json}]", file=sys.stderr)
+    if all_ok:
+        print(f"staticcheck: all {len(muts)} seeded mutation(s) "
+              f"caught statically")
+    return 0 if all_ok else 1
+
+
+def _dump_specs(args, protocols: List[Protocol]) -> int:
+    os.makedirs(args.dump_specs, exist_ok=True)
+    for proto in protocols:
+        path = os.path.join(args.dump_specs, f"{proto.value}.json")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(get_spec(proto).dumps())
+            fh.write("\n")
+        if not args.quiet:
+            print(f"  [wrote {path}]", file=sys.stderr)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    protocols = _parse_protocols(args.protocol, parser)
+    if args.dump_specs:
+        return _dump_specs(args, protocols)
+    if args.mutants:
+        return _mutants(args, protocols)
+    return _check(args, protocols)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

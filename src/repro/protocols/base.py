@@ -48,6 +48,47 @@ class PendingFill:
         self.inv_seq: Optional[int] = None
 
 
+class HandlerTableError(RuntimeError):
+    """A controller's HANDLERS table cannot serve every message its
+    protocol spec routes to a node -- raised at construction, not as a
+    dispatch error mid-simulation."""
+
+
+#: (controller class, protocol) pairs already validated this process
+_VALIDATED_HANDLER_TABLES: set = set()
+
+
+def _validate_handler_table(cls, protocol) -> None:
+    """Fail fast: every MsgType the protocol's declarative spec lists
+    as receivable must have a HANDLERS entry on this class."""
+    key = (cls, protocol)
+    if key in _VALIDATED_HANDLER_TABLES:
+        return
+    try:
+        from repro.protospec import get_spec
+        spec = get_spec(protocol)
+    except KeyError:
+        # no spec for this protocol (custom/experimental controller):
+        # nothing to validate against
+        _VALIDATED_HANDLER_TABLES.add(key)
+        return
+    missing = sorted(m.name for m in spec.receivable()
+                     if m not in cls.HANDLERS)
+    if missing:
+        details = []
+        for name in missing:
+            sides = [s.name for s in spec.sides
+                     if name in s.message_events()]
+            details.append(f"{name} ({'/'.join(sides)} side)")
+        raise HandlerTableError(
+            f"{cls.__name__} cannot run protocol "
+            f"{spec.protocol!r}: no HANDLERS entry for "
+            f"{', '.join(details)}; every message the {spec.protocol} "
+            f"spec routes to a node needs a handler before the "
+            f"simulation starts")
+    _VALIDATED_HANDLER_TABLES.add(key)
+
+
 class NodeCtrl:
     """Base class for WI / PU / CU node controllers."""
 
@@ -87,6 +128,7 @@ class NodeCtrl:
         #: after a writeback race resolves (FWD_NACK path)
         self._txn: Dict[int, Tuple[Callable[[Message], None], Message]] = {}
 
+        _validate_handler_table(type(self), cfg.protocol)
         self.net.register(node, self.receive)
         self._handlers = self._build_handlers()
 

@@ -1,0 +1,49 @@
+"""Declarative, JSON-serializable protocol transition tables.
+
+``get_spec("wi" | "pu" | "cu" | "hybrid")`` (or a
+:class:`repro.config.Protocol` member) returns the validated
+:class:`ProtocolSpec` for that protocol.  The tables are hand-written
+transcriptions of the imperative controllers in :mod:`repro.protocols`;
+:mod:`repro.staticcheck` keeps the two from drifting apart.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.protospec.model import (
+    ACTION_VOCABULARY, ANY_STATE, LOCAL_EVENTS, LOCAL_PREFIX,
+    Impossible, ProtocolSpec, SideSpec, SpecError, TransitionRow,
+)
+from repro.protospec.tables import cu_spec, hybrid_spec, pu_spec, wi_spec
+
+#: protocol value -> spec builder (the order matches Protocol)
+SPEC_BUILDERS = {
+    "wi": wi_spec,
+    "pu": pu_spec,
+    "cu": cu_spec,
+    "hybrid": hybrid_spec,
+}
+
+_cache: Dict[str, "ProtocolSpec"] = {}
+
+
+def get_spec(protocol) -> ProtocolSpec:
+    """Return the (cached, validated) spec for a protocol, given either
+    a :class:`repro.config.Protocol` member or its string value."""
+    key = getattr(protocol, "value", protocol)
+    if key not in SPEC_BUILDERS:
+        raise KeyError(
+            f"no protocol spec for {key!r}; known: "
+            f"{', '.join(sorted(SPEC_BUILDERS))}")
+    if key not in _cache:
+        _cache[key] = SPEC_BUILDERS[key]()
+    return _cache[key]
+
+
+__all__ = [
+    "ACTION_VOCABULARY", "ANY_STATE", "LOCAL_EVENTS", "LOCAL_PREFIX",
+    "Impossible", "ProtocolSpec", "SideSpec", "SpecError",
+    "TransitionRow", "SPEC_BUILDERS", "get_spec",
+    "wi_spec", "pu_spec", "cu_spec", "hybrid_spec",
+]

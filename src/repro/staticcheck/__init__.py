@@ -1,0 +1,36 @@
+"""Static protocol analysis: no simulation, just the spec and the AST.
+
+Three layers:
+
+* :mod:`repro.staticcheck.analyzer` -- completeness, reachability,
+  ambiguity, progress, vocabulary and routing checks over a
+  :class:`~repro.protospec.ProtocolSpec`;
+* :mod:`repro.staticcheck.conformance` -- AST diff of the imperative
+  handlers in :mod:`repro.protocols` against the spec tables;
+* :mod:`repro.staticcheck.report` -- findings, the suppression
+  manifest, and text/JSON rendering.
+
+Driven by ``python -m repro.experiments staticcheck``.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.staticcheck.analyzer import CHECKS, analyze_spec
+from repro.staticcheck.conformance import (
+    ExtractionError, check_conformance, handler_effects,
+)
+from repro.staticcheck.report import (
+    Finding, StaticCheckReport, SuppressionError, load_suppressions,
+)
+
+#: the packaged (default) suppression manifest
+DEFAULT_SUPPRESSIONS = os.path.join(os.path.dirname(__file__),
+                                    "suppressions.json")
+
+__all__ = [
+    "CHECKS", "analyze_spec", "check_conformance", "handler_effects",
+    "ExtractionError", "Finding", "StaticCheckReport",
+    "SuppressionError", "load_suppressions", "DEFAULT_SUPPRESSIONS",
+]

@@ -1,0 +1,88 @@
+"""Property tests for the protospec JSON serialization: any structurally
+well-formed spec must survive ``to_json``/``from_json`` (and the string
+``dumps``/``loads``) without losing or inventing a single field."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.network.messages import MsgType
+from repro.protospec import (
+    ACTION_VOCABULARY, Impossible, ProtocolSpec, SideSpec,
+    TransitionRow,
+)
+from repro.protospec.model import LOCAL_EVENTS
+
+_STATES = ("I", "S", "M", "V", "R", "BUSY_R", "SM_W", "*")
+_EVENTS = tuple(MsgType.__members__) + tuple(LOCAL_EVENTS)
+_ACTIONS = (tuple(ACTION_VOCABULARY)
+            + tuple(f"send:{m}" for m in ("INV", "READ_REPLY", "UPDATE"))
+            + ("cache:=MODIFIED", "dir:=SHARED"))
+
+_text = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+    min_size=1, max_size=30)
+
+rows = st.builds(
+    TransitionRow,
+    state=st.sampled_from(_STATES),
+    event=st.sampled_from(_EVENTS),
+    actions=st.lists(st.sampled_from(_ACTIONS), max_size=4)
+            .map(tuple),
+    next_state=st.none() | st.sampled_from(_STATES[:-1]),
+    guard=st.none() | _text,
+    retry=st.booleans(),
+    fairness=st.none() | _text,
+    note=st.none() | _text)
+
+impossibles = st.builds(
+    Impossible,
+    state=st.sampled_from(_STATES[:-1]),
+    event=st.sampled_from(_EVENTS),
+    reason=_text)
+
+
+def _sides(name):
+    return st.builds(
+        SideSpec,
+        name=st.just(name),
+        initial=st.sampled_from(_STATES[:-1]),
+        states=st.just(_STATES[:-1]),
+        stable=st.just(_STATES[:3]),
+        events=st.just(_EVENTS[:6]),
+        rows=st.lists(rows, max_size=8).map(tuple),
+        impossible=st.lists(impossibles, max_size=4).map(tuple))
+
+
+specs = st.builds(
+    ProtocolSpec,
+    protocol=st.sampled_from(("wi", "pu", "cu", "hybrid", "toy")),
+    description=_text,
+    cache=_sides("cache"),
+    home=_sides("home"),
+    unused_messages=st.lists(
+        st.tuples(st.sampled_from(tuple(MsgType.__members__)), _text),
+        max_size=4).map(tuple))
+
+
+class TestProtospecRoundTrip:
+    @settings(deadline=None, max_examples=200)
+    @given(rows)
+    def test_row_round_trip(self, row):
+        assert TransitionRow.from_json(row.to_json()) == row
+
+    @settings(deadline=None, max_examples=200)
+    @given(impossibles)
+    def test_impossible_round_trip(self, imp):
+        assert Impossible.from_json(imp.to_json()) == imp
+
+    @settings(deadline=None, max_examples=100)
+    @given(specs)
+    def test_spec_round_trip(self, spec):
+        assert ProtocolSpec.from_json(spec.to_json()) == spec
+        assert ProtocolSpec.loads(spec.dumps()) == spec
+
+    @settings(deadline=None, max_examples=100)
+    @given(specs)
+    def test_dumps_is_deterministic(self, spec):
+        assert spec.dumps() == ProtocolSpec.loads(spec.dumps()).dumps()

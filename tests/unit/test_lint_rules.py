@@ -1,0 +1,229 @@
+"""Direct unit coverage for every lint rule L1-L6: each rule gets one
+minimal violating op stream and one clean near-miss that differs by the
+single op the rule is about."""
+
+from __future__ import annotations
+
+from repro.checkers import run_lint
+from repro.config import MachineConfig, Protocol
+from repro.isa.ops import (
+    Fence, FetchStore, Flush, Read, SpinUntil, Write,
+)
+from repro.runtime import Machine
+
+
+def _machine(procs: int = 2) -> Machine:
+    return Machine(MachineConfig(num_procs=procs, protocol=Protocol.WI))
+
+
+def _free(v) -> bool:
+    return v == 0
+
+
+def _lock(machine):
+    mm = machine.memmap
+    lock = mm.alloc_word(0, "lock")
+    mm.mark_sync(lock)
+    mm.mark_release(lock, predicate=_free)
+    return lock
+
+
+def _lint(machine, *programs):
+    return run_lint(machine.memmap, list(enumerate(programs)))
+
+
+# --- L1: missing-release-fence ----------------------------------------
+
+def test_l1_unfenced_release_store_is_flagged():
+    machine = _machine(1)
+    lock = _lock(machine)
+    data = machine.memmap.alloc_word(0, "data")
+
+    def program():
+        yield SpinUntil(lock, _free)
+        yield Write(data, 1)
+        yield Write(lock, 0)       # BUG: no Fence since the acquire
+
+    report = _lint(machine, program())
+    found = report.by_rule("missing-release-fence")
+    assert len(found) == 1, report.render()
+    assert found[0].word == machine.memmap.config.word_of(lock)
+
+
+def test_l1_fenced_release_store_is_clean():
+    machine = _machine(1)
+    lock = _lock(machine)
+    data = machine.memmap.alloc_word(0, "data")
+
+    def program():
+        yield SpinUntil(lock, _free)
+        yield Write(data, 1)
+        yield Fence()              # the near-miss: one fence added
+        yield Write(lock, 0)
+
+    report = _lint(machine, program())
+    assert not report.by_rule("missing-release-fence"), report.render()
+    assert not report.by_rule("write-escapes-release"), report.render()
+
+
+# --- L2: unshared-flush -----------------------------------------------
+
+def test_l2_flush_of_private_block_is_flagged():
+    machine = _machine(2)
+    mm = machine.memmap
+    mine = mm.alloc_block(0, "private")
+    other = mm.alloc_block(1, "peer-data")
+
+    def flusher():
+        yield Write(mine, 1)
+        yield Flush(mine)          # BUG: nobody else touches the block
+
+    def peer():
+        yield Read(other)
+
+    report = _lint(machine, flusher(), peer())
+    found = report.by_rule("unshared-flush")
+    assert len(found) == 1, report.render()
+    assert found[0].node == 0
+
+
+def test_l2_flush_of_shared_block_is_clean():
+    machine = _machine(2)
+    shared = machine.memmap.alloc_block(0, "shared")
+
+    def flusher():
+        yield Write(shared, 1)
+        yield Flush(shared)
+
+    def peer():
+        yield Read(shared)         # the near-miss: one reader added
+
+    report = _lint(machine, flusher(), peer())
+    assert not report.by_rule("unshared-flush"), report.render()
+
+
+# --- L3: write-escapes-release ----------------------------------------
+
+def test_l3_write_after_release_fence_is_flagged():
+    machine = _machine(1)
+    lock = _lock(machine)
+    data = machine.memmap.alloc_word(0, "data")
+
+    def program():
+        yield SpinUntil(lock, _free)
+        yield Fence()
+        yield Write(data, 1)       # BUG: not covered by the fence
+        yield Write(lock, 0)
+
+    report = _lint(machine, program())
+    found = report.by_rule("write-escapes-release")
+    assert len(found) == 1, report.render()
+    assert found[0].word == machine.memmap.config.word_of(lock)
+
+
+def test_l3_write_before_release_fence_is_clean():
+    machine = _machine(1)
+    lock = _lock(machine)
+    data = machine.memmap.alloc_word(0, "data")
+
+    def program():
+        yield SpinUntil(lock, _free)
+        yield Write(data, 1)       # the near-miss: write moved up
+        yield Fence()
+        yield Write(lock, 0)
+
+    report = _lint(machine, program())
+    assert not report.by_rule("write-escapes-release"), report.render()
+
+
+# --- L4: spin-never-satisfied -----------------------------------------
+
+def test_l4_unsatisfiable_spin_is_flagged():
+    machine = _machine(2)
+    flag = machine.memmap.alloc_word(0, "flag")
+
+    def waiter():
+        yield SpinUntil(flag, lambda v: v == 1)
+
+    def peer():
+        yield Write(flag, 2)       # BUG: never stores the awaited value
+
+    report = _lint(machine, waiter(), peer())
+    found = report.by_rule("spin-never-satisfied")
+    assert len(found) == 1, report.render()
+    assert found[0].node == 0
+
+
+def test_l4_satisfied_spin_is_clean():
+    machine = _machine(2)
+    flag = machine.memmap.alloc_word(0, "flag")
+
+    def waiter():
+        yield SpinUntil(flag, lambda v: v == 1)
+
+    def peer():
+        yield Write(flag, 1)       # the near-miss: the right value
+
+    report = _lint(machine, waiter(), peer())
+    assert not report.by_rule("spin-never-satisfied"), report.render()
+
+
+# --- L5: double-acquire -----------------------------------------------
+
+def test_l5_reacquire_without_release_is_flagged():
+    machine = _machine(1)
+    lock = _lock(machine)
+
+    def program():
+        yield SpinUntil(lock, _free)
+        yield SpinUntil(lock, _free)   # BUG: still holding the lock
+        yield Fence()
+        yield Write(lock, 0)
+
+    report = _lint(machine, program())
+    assert len(report.by_rule("double-acquire")) == 1, report.render()
+
+
+def test_l5_reacquire_after_release_is_clean():
+    machine = _machine(1)
+    lock = _lock(machine)
+
+    def program():
+        yield SpinUntil(lock, _free)
+        yield Fence()
+        yield Write(lock, 0)           # the near-miss: release between
+        yield SpinUntil(lock, _free)
+        yield Fence()
+        yield Write(lock, 0)
+
+    report = _lint(machine, program())
+    assert not report.by_rule("double-acquire"), report.render()
+
+
+# --- L6: acquire-without-release --------------------------------------
+
+def test_l6_never_released_lock_is_flagged():
+    machine = _machine(1)
+    lock = _lock(machine)
+
+    def program():
+        yield SpinUntil(lock, _free)
+        yield Fence()                  # BUG: no release action follows
+
+    report = _lint(machine, program())
+    found = report.by_rule("acquire-without-release")
+    assert len(found) == 1, report.render()
+    assert found[0].word == machine.memmap.config.word_of(lock)
+
+
+def test_l6_atomic_handoff_is_clean():
+    machine = _machine(1)
+    lock = _lock(machine)
+
+    def program():
+        yield SpinUntil(lock, _free)
+        yield Fence()
+        yield FetchStore(lock, 0)      # the near-miss: atomic handoff
+
+    report = _lint(machine, program())
+    assert not report.by_rule("acquire-without-release"), report.render()
