@@ -34,8 +34,9 @@ _PROTOCOL_FIELDS = frozenset({"protocol", "hybrid_default"})
 
 #: mixed into the source digest; bump on changes that the digest alone
 #: would miss (behaviour-preserving rewrites whose cached results should
-#: still be retired, e.g. the PR-3 hot-path overhaul)
-CODE_VERSION_EPOCH = 2
+#: still be retired, e.g. the PR-3 hot-path overhaul or the PR-7
+#: array-native core)
+CODE_VERSION_EPOCH = 3
 
 _code_version_cache: str = ""
 

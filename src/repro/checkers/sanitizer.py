@@ -55,6 +55,16 @@ class CoherenceSanitizer:
         self._values: Dict[int, Set[Any]] = {}
 
     # ------------------------------------------------------------------
+    # snapshot / restore
+    # ------------------------------------------------------------------
+
+    def snapshot_state(self):
+        return {word: set(vals) for word, vals in self._values.items()}
+
+    def restore_state(self, snap) -> None:
+        self._values = {word: set(vals) for word, vals in snap.items()}
+
+    # ------------------------------------------------------------------
     # golden value history
     # ------------------------------------------------------------------
 

@@ -98,6 +98,16 @@ class CheckerReport:
 
     # ------------------------------------------------------------------
 
+    def snapshot_state(self):
+        # Violation / CheckerEvent are frozen dataclasses: list copies
+        # fully capture the report
+        return (list(self.violations), list(self.events))
+
+    def restore_state(self, snap) -> None:
+        violations, events = snap
+        self.violations = list(violations)
+        self.events = list(events)
+
     @property
     def clean(self) -> bool:
         return not self.violations

@@ -175,6 +175,31 @@ class MissClassifier:
             self._resolve_pending(key)
 
     # ------------------------------------------------------------------
+    # snapshot / restore
+    # ------------------------------------------------------------------
+
+    def snapshot_state(self):
+        return (dict(self.counts), self.exclusive_requests,
+                self.shared_refs,
+                {b: dict(log) for b, log in self._writes.items()},
+                dict(self._write_seq), dict(self._leave_seq),
+                dict(self._leave_reason), set(self._touched),
+                {k: p.leave_seq for k, p in self._pending.items()})
+
+    def restore_state(self, snap) -> None:
+        (counts, exclusive_requests, shared_refs, writes, write_seq,
+         leave_seq, leave_reason, touched, pending) = snap
+        self.counts = dict(counts)
+        self.exclusive_requests = exclusive_requests
+        self.shared_refs = shared_refs
+        self._writes = {b: dict(log) for b, log in writes.items()}
+        self._write_seq = dict(write_seq)
+        self._leave_seq = dict(leave_seq)
+        self._leave_reason = dict(leave_reason)
+        self._touched = set(touched)
+        self._pending = {k: _Pending(ls) for k, ls in pending.items()}
+
+    # ------------------------------------------------------------------
     # results
     # ------------------------------------------------------------------
 

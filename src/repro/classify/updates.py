@@ -137,6 +137,29 @@ class UpdateClassifier:
         self._open.clear()
 
     # ------------------------------------------------------------------
+    # snapshot / restore
+    # ------------------------------------------------------------------
+
+    def snapshot_state(self):
+        return (dict(self.counts), self.stale_deliveries,
+                {key: {w: (r.referenced, r.other_ref)
+                       for w, r in recs.items()}
+                 for key, recs in self._open.items()})
+
+    def restore_state(self, snap) -> None:
+        counts, stale_deliveries, open_recs = snap
+        self.counts = dict(counts)
+        self.stale_deliveries = stale_deliveries
+        restored: Dict[Tuple[int, int], Dict[int, _Record]] = {}
+        for key, recs in open_recs.items():
+            out = restored[key] = {}
+            for word, (referenced, other_ref) in recs.items():
+                rec = out[word] = _Record()
+                rec.referenced = referenced
+                rec.other_ref = other_ref
+        self._open = restored
+
+    # ------------------------------------------------------------------
     # results
     # ------------------------------------------------------------------
 

@@ -164,6 +164,27 @@ class Simulator:
         return True
 
     # ------------------------------------------------------------------
+    # snapshot / restore
+    # ------------------------------------------------------------------
+
+    def snapshot(self):
+        """O(pending events) copy of the simulator's state.  Event
+        tuples are immutable and shared with the snapshot; their bound
+        arguments are component objects the caller is responsible for
+        restoring in place."""
+        return (self.now, self._seq, list(self._queue),
+                self.events_processed, self._stopped)
+
+    def restore(self, snap) -> None:
+        now, seq, queue, events_processed, stopped = snap
+        self.now = now
+        self._seq = seq
+        # the snapshot list was copied from a valid heap, so it is one
+        self._queue[:] = queue
+        self.events_processed = events_processed
+        self._stopped = stopped
+
+    # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
 
@@ -248,3 +269,11 @@ class ControlledSimulator(Simulator):
         self._count_event()
         fn(*args)
         return True
+
+    def snapshot(self):
+        return (super().snapshot(), list(self.choice_log))
+
+    def restore(self, snap) -> None:
+        base, choice_log = snap
+        super().restore(base)
+        self.choice_log[:] = choice_log

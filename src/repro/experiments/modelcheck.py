@@ -21,8 +21,10 @@ from __future__ import annotations
 
 import argparse
 import difflib
+import json
 import os
 import sys
+import time
 from typing import Iterable, List, Optional, Tuple
 
 from repro.campaign import RunSpec, register_workload
@@ -115,6 +117,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default="modelcheck-ce", metavar="DIR",
                    help="directory for counterexample files "
                         "(default modelcheck-ce)")
+    p.add_argument("--bench-json", metavar="FILE", default=None,
+                   help="write sweep timings (per program x protocol "
+                        "and total wall-clock) as JSON for CI "
+                        "artifacts")
     p.add_argument("--list", action="store_true",
                    help="list litmus programs and mutations, then exit")
     p.add_argument("--quiet", action="store_true")
@@ -164,13 +170,24 @@ def _sweep(args) -> int:
         return 2
     failed = 0
     incomplete = 0
+    timings = {}
+    sweep_start = time.perf_counter()
     for name in programs:
         litmus = get_program(name)
         for proto in protocols:
+            t0 = time.perf_counter()
             res = explore(litmus, protocol=proto,
                           max_schedules=args.max_schedules,
                           max_events=args.max_events,
                           dedup=not args.no_dedup)
+            elapsed = time.perf_counter() - t0
+            timings[f"{name}[{proto.short}]"] = {
+                "elapsed_s": round(elapsed, 4),
+                "schedules": res.schedules,
+                "states": res.states,
+                "choice_points": res.choice_points,
+                "pruned": res.dedup_hits,
+            }
             status = "ok"
             if res.violation is not None:
                 status = f"VIOLATION {res.violation.kind}"
@@ -188,6 +205,17 @@ def _sweep(args) -> int:
                 print(f"  {res.violation.detail}")
                 _save_ce(args.out, f"{name}-{proto.short}.json", res,
                          args.quiet)
+    if args.bench_json:
+        payload = {
+            "elapsed_s": round(time.perf_counter() - sweep_start, 4),
+            "explorations": timings,
+            "violations": failed,
+            "incomplete": incomplete,
+        }
+        with open(args.bench_json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        if not args.quiet:
+            print(f"  [wrote {args.bench_json}]", file=sys.stderr)
     if failed or incomplete:
         print(f"modelcheck: {failed} violation(s), "
               f"{incomplete} incomplete exploration(s)")

@@ -6,7 +6,10 @@ Runs, without a single simulated cycle:
   ambiguity / progress / vocabulary / routing) over the declarative
   transition tables of :mod:`repro.protospec`, and
 * the AST conformance pass diffing each protocol controller's handlers
-  against its table,
+  against its table, and
+* the dispatch round-trip check diffing the compiled execution table
+  (what the simulator actually dispatches through) against the spec
+  row-for-row,
 
 for any subset of WI / PU / CU / HYBRID.  Findings can be suppressed
 via a JSON manifest (every suppression needs a written reason; stale
@@ -33,7 +36,8 @@ from repro.protocols import _CTRL_CLASSES
 from repro.protospec import get_spec
 from repro.staticcheck import (
     DEFAULT_SUPPRESSIONS, StaticCheckReport, SuppressionError,
-    analyze_spec, check_conformance, load_suppressions,
+    analyze_spec, check_conformance, check_dispatch_tables,
+    load_suppressions,
 )
 
 #: analysis order (and the --protocol default)
@@ -90,12 +94,15 @@ def _parse_protocols(names: Optional[List[str]],
 
 
 def run_staticcheck(protocols: List[Protocol]) -> StaticCheckReport:
-    """Analyzer + conformance over the given protocols, unsuppressed."""
+    """Analyzer + conformance + compiled-dispatch round-trip over the
+    given protocols, unsuppressed."""
     report = StaticCheckReport()
     for proto in protocols:
         spec = get_spec(proto)
+        cls = _CTRL_CLASSES[proto]
         report.extend(analyze_spec(spec))
-        report.extend(check_conformance(spec, _CTRL_CLASSES[proto]))
+        report.extend(check_conformance(spec, cls))
+        report.extend(check_dispatch_tables(spec, cls, proto))
     return report
 
 

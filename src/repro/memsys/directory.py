@@ -1,13 +1,21 @@
-"""Full-map directory.
+"""Full-map directory over flat int words.
 
 One directory entry per shared block, kept at the block's home node.
 The same entry structure serves all three protocols:
 
 * WI uses ``UNOWNED`` / ``SHARED`` / ``DIRTY`` with a full sharer bitmap
-  (here: a set) or a single owner;
-* PU/CU use ``SHARED`` with the sharer set being the nodes that receive
-  updates, plus ``DIRTY`` for the retain-private optimization (the
-  "owner" holds the only up-to-date copy and suppresses write-throughs).
+  (bit *n* set = node *n* holds a copy) or a single owner;
+* PU/CU use ``SHARED`` with the sharer bitmap being the nodes that
+  receive updates, plus ``DIRTY`` for the retain-private optimization
+  (the "owner" holds the only up-to-date copy and suppresses
+  write-throughs).
+
+An entry's hot state is three plain ints -- ``dstate`` (index into
+:data:`DIR_STATES`), ``sharer_mask`` and ``owner`` -- so protocol code
+manipulates it with integer bit ops.  The ``state`` and ``sharers``
+properties keep the enum/set views for observers and tests; note that
+``sharers`` materializes a *fresh* set per access, so mutate via
+``sharer_mask`` (or assign a whole set), never via ``sharers.add()``.
 
 Transactions are serialized per block at the home: while an entry is
 *busy* with an in-flight transaction, subsequent requests queue and are
@@ -29,26 +37,88 @@ class DirState(enum.Enum):
     DIRTY = "D"
 
 
+#: dense enum view indexed by the per-entry ``dstate`` ints below
+DIR_STATES = (DirState.UNOWNED, DirState.SHARED, DirState.DIRTY)
+
+#: plain-int directory state codes (UNOWNED must stay 0)
+DIR_UNOWNED = 0
+DIR_SHARED = 1
+DIR_DIRTY = 2
+
+for _code, _state in enumerate(DIR_STATES):
+    _state.code = _code
+del _code, _state
+
+
+def _dir_code(state) -> int:
+    """Accept either a :class:`DirState` member or its int code."""
+    return state if type(state) is int else state.code
+
+
+#: sharer-bitmask -> ascending node tuple, memoized (pure function of
+#: the mask, so safe to share across machines)
+_MASK_NODES: Dict[int, Tuple[int, ...]] = {0: ()}
+
+
+def mask_nodes(mask: int) -> Tuple[int, ...]:
+    """The nodes set in ``mask``, ascending (the deterministic
+    fan-out order invalidations and update propagations use)."""
+    nodes = _MASK_NODES.get(mask)
+    if nodes is None:
+        out = []
+        m, n = mask, 0
+        while m:
+            if m & 1:
+                out.append(n)
+            m >>= 1
+            n += 1
+        nodes = _MASK_NODES[mask] = tuple(out)
+    return nodes
+
+
 class DirEntry:
-    __slots__ = ("block", "state", "sharers", "owner", "busy", "queue",
-                 "seq")
+    __slots__ = ("block", "dstate", "sharer_mask", "owner", "busy",
+                 "queue", "seq")
 
     def __init__(self, block: int) -> None:
         self.block = block
-        self.state = DirState.UNOWNED
-        self.sharers: Set[int] = set()
+        #: plain-int state (index into DIR_STATES)
+        self.dstate = DIR_UNOWNED
+        #: sharer bitmap: bit n set = node n holds a copy
+        self.sharer_mask = 0
         self.owner: int = -1
         self.busy = False
         #: queued (callback, args) transactions awaiting the entry
         self.queue: Deque[Tuple[Callable, tuple]] = deque()
         self.seq = 0
 
+    @property
+    def state(self) -> DirState:
+        return DIR_STATES[self.dstate]
+
+    @state.setter
+    def state(self, value) -> None:
+        self.dstate = _dir_code(value)
+
+    @property
+    def sharers(self) -> Set[int]:
+        """Set view of the sharer bitmap.  A fresh set per access:
+        read-only for observers; writers use ``sharer_mask``."""
+        return set(mask_nodes(self.sharer_mask))
+
+    @sharers.setter
+    def sharers(self, nodes) -> None:
+        mask = 0
+        for n in nodes:
+            mask |= 1 << n
+        self.sharer_mask = mask
+
     def next_seq(self) -> int:
         self.seq += 1
         return self.seq
 
     def __repr__(self) -> str:  # pragma: no cover
-        who = (f"owner={self.owner}" if self.state is DirState.DIRTY
+        who = (f"owner={self.owner}" if self.dstate == DIR_DIRTY
                else f"sharers={sorted(self.sharers)}")
         return (f"<Dir blk={self.block} {self.state.value} {who}"
                 f"{' BUSY' if self.busy else ''}>")
@@ -98,3 +168,29 @@ class Directory:
             fn(*args)  # entry stays busy for the next transaction
         else:
             ent.busy = False
+
+    # ------------------------------------------------------------------
+    # snapshot / restore (entry identity preserved: closures captured
+    # before a snapshot keep pointing at live entries after a restore)
+    # ------------------------------------------------------------------
+
+    def snapshot_state(self):
+        return {block: (ent.dstate, ent.sharer_mask, ent.owner,
+                        ent.busy, tuple(ent.queue), ent.seq)
+                for block, ent in self._entries.items()}
+
+    def restore_state(self, snap) -> None:
+        entries = self._entries
+        for block in [b for b in entries if b not in snap]:
+            del entries[block]
+        for block, (dstate, mask, owner, busy, queue, seq) in \
+                snap.items():
+            ent = entries.get(block)
+            if ent is None:
+                ent = entries[block] = DirEntry(block)
+            ent.dstate = dstate
+            ent.sharer_mask = mask
+            ent.owner = owner
+            ent.busy = busy
+            ent.queue = deque(queue)
+            ent.seq = seq

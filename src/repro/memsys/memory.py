@@ -65,6 +65,21 @@ class MemoryModule:
         return self._busy_until
 
     # ------------------------------------------------------------------
+    # snapshot / restore
+    # ------------------------------------------------------------------
+
+    def snapshot_state(self):
+        return (dict(self._words), self._busy_until, self.wait_cycles,
+                self.accesses)
+
+    def restore_state(self, snap) -> None:
+        words, busy_until, wait_cycles, accesses = snap
+        self._words = dict(words)
+        self._busy_until = busy_until
+        self.wait_cycles = wait_cycles
+        self.accesses = accesses
+
+    # ------------------------------------------------------------------
     # data
     # ------------------------------------------------------------------
 

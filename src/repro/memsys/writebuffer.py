@@ -104,6 +104,21 @@ class WriteBuffer:
         return [w.block for w in self._fifo]
 
     # ------------------------------------------------------------------
+    # snapshot / restore (PendingWrite entries are immutable after
+    # enqueue, so the snapshot shares them by reference)
+    # ------------------------------------------------------------------
+
+    def snapshot_state(self):
+        return (tuple(self._fifo), tuple(self._space_waiters),
+                tuple(self._empty_waiters))
+
+    def restore_state(self, snap) -> None:
+        fifo, space, empty = snap
+        self._fifo = deque(fifo)
+        self._space_waiters = list(space)
+        self._empty_waiters = list(empty)
+
+    # ------------------------------------------------------------------
     # stall hooks
     # ------------------------------------------------------------------
 

@@ -1,24 +1,34 @@
-"""Stateless-search exploration of all reachable interleavings.
+"""Snapshot-branching exploration of all reachable interleavings.
 
-Python generators cannot be snapshotted, so the explorer is *replay
-based*: every schedule is executed from scratch on a fresh machine,
+The explorer walks the schedule tree of a litmus program depth-first,
 driven by a :class:`~repro.engine.ControlledSimulator` whose chooser
-follows a forced-choice prefix and defaults to index 0 beyond it.  Each
-run records, at every choice point, how many candidates were ready;
-afterwards the untaken branches (``prefix + (0,)*k + (j,)`` for every
-``j >= 1``) are pushed on the DFS stack.  The schedule space of a
-terminating litmus program is a finite tree, so this enumerates every
-reachable interleaving even with no pruning at all.
+defaults to candidate 0.  At every choice point with ``n > 1``
+candidates it takes one O(state) :meth:`Machine.snapshot` and pushes
+``n - 1`` branch records -- ``(snapshot, batch, forced pick)`` -- on
+the DFS stack; a branch later *restores* the snapshot, re-queues the
+batch, takes its forced pick and continues with default choices.  The
+schedule space of a terminating litmus program is a finite tree, so
+this enumerates every reachable interleaving even with no pruning at
+all -- without ever re-executing a shared schedule prefix (the
+historical replay-based explorer re-ran every prefix from cycle 0; the
+replay machinery survives in :func:`run_schedule`, which the ``--replay``
+CLI and schedule minimization still use).
+
+Generators are the one piece of machine state that cannot be copied;
+:meth:`Machine.record_histories` + per-thread spawn factories let
+``restore`` rebuild them by replaying their recorded resume values
+(thread programs are deterministic functions of the values they
+receive).
 
 Two reductions keep it tractable:
 
-* **visited-state dedup** -- at every choice point *beyond* the forced
-  prefix the canonical state key (see :mod:`repro.modelcheck.state`) is
-  looked up in a visited set; a hit abandons the run and suppresses
-  branching at and beyond the pruned position (the first visitor
-  already explored every continuation of that state).  The key at
-  ``pos == len(prefix)`` is the branch state itself, which the parent
-  run already recorded -- it is *not* consulted, only (re)inserted,
+* **visited-state dedup** -- at every free choice point the canonical
+  state key (see :mod:`repro.modelcheck.state`) is looked up in a
+  visited set; a hit abandons the run and suppresses branching at and
+  beyond the pruned position (the first visitor already explored every
+  continuation of that state).  The key at a branch's *first* free
+  choice point is the branch state itself, which the parent run
+  already recorded -- it is *not* consulted, only (re)inserted,
   otherwise every branch would self-prune.
 * **symmetry reduction** -- the canonical key is minimized over the
   litmus program's declared node/word relabellings, merging
@@ -36,6 +46,7 @@ the simplification).
 
 from __future__ import annotations
 
+import heapq
 from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
@@ -86,34 +97,13 @@ class ExploreResult:
         return self.violation is None
 
 
-class _RecordingGen:
-    """Wraps a thread generator so every resumed value lands in an
-    externally owned history list -- the only part of a generator's
-    hidden state the fingerprint needs (programs are deterministic
-    functions of their resumed values)."""
-
-    __slots__ = ("_gen", "history")
-
-    def __init__(self, gen, history: list) -> None:
-        self._gen = gen
-        self.history = history
-
-    def send(self, value):
-        self.history.append(value)
-        return self._gen.send(value)
-
-
 def _build(litmus: LitmusProgram, config, max_events: int):
     from repro.runtime.machine import Machine
 
     sim = ControlledSimulator(max_events=max_events)
     machine = Machine(config, sim=sim)
     built = litmus.build(machine)
-    histories: Dict[int, list] = {}
-    for proc in machine.processors:
-        hist: list = []
-        histories[proc.node] = hist
-        proc._gen = _RecordingGen(proc._gen, hist)
+    histories = machine.record_histories()
     syms = [Symmetry(config, nm, wm) for nm, wm in built.symmetries]
     return machine, built, histories, syms
 
@@ -218,12 +208,6 @@ def _run(machine, built, histories, syms,
     return trace, violation, pruned_at, sim.events_processed
 
 
-def _full_choices(prefix: Tuple[int, ...],
-                  trace: List[int]) -> Tuple[int, ...]:
-    return tuple(prefix[i] if i < len(prefix) else 0
-                 for i in range(len(trace)))
-
-
 def run_schedule(litmus: LitmusProgram, config,
                  choices: Tuple[int, ...], max_events: int = 50_000,
                  on_event: Optional[Callable] = None,
@@ -280,10 +264,14 @@ def explore(litmus: LitmusProgram,
             minimize: bool = True) -> ExploreResult:
     """Exhaustively explore one (program, protocol) pair.
 
-    Stops at the first violation (returning its minimized schedule) or
-    when the schedule tree is exhausted; ``complete`` is False when the
-    ``max_schedules`` budget ran out first.
+    One machine is built; every other schedule starts from a snapshot
+    taken at its branch point, so shared prefixes execute exactly once.
+    Stops at the first violation (returning its minimized schedule, via
+    the replay path) or when the schedule tree is exhausted;
+    ``complete`` is False when the ``max_schedules`` budget ran out
+    first.
     """
+    from repro.checkers import CheckerError
     from repro.modelcheck.mutations import get_mutation
 
     if config is None:
@@ -295,7 +283,6 @@ def explore(litmus: LitmusProgram,
 
     visited: Optional[set] = set() if dedup else None
     stats = {"dedup_hits": 0, "unhashed": 0}
-    stack: List[Tuple[int, ...]] = [()]
     schedules = 0
     events_total = 0
     choice_points = 0
@@ -311,27 +298,132 @@ def explore(litmus: LitmusProgram,
             violation=violation, choices=choices, complete=complete)
 
     with mut_ctx:
-        while stack:
+        machine, built, histories, syms = _build(litmus, config,
+                                                 max_events)
+        sim: ControlledSimulator = machine.sim
+
+        # DFS stack of untaken branches.  Each record is
+        # ((snapshot, batch), picks): `snapshot` is the machine at the
+        # branch point with `batch` (the ready candidates) popped off
+        # the queue, shared by every sibling; `picks` is the choice
+        # sequence up to and including the forced sibling index.
+        branches: List[Tuple[tuple, Tuple[int, ...]]] = []
+        # chooser state for the run in progress (reset per run):
+        # choices made so far, the pending forced pick (branch runs
+        # only), and whether the next free choice point is the branch
+        # state itself (insert-only, see module docstring)
+        run = {"choices": [], "forced": None, "fresh": True,
+               "npoints": 0}
+
+        def chooser(batch):
+            # counted at entry so a run pruned *at* this position still
+            # counts it toward the choice-point depth
+            run["npoints"] += 1
+            choices: List[int] = run["choices"]
+            forced = run["forced"]
+            if forced is not None:
+                run["forced"] = None
+                choices.append(forced)
+                return forced
+            if visited is not None:
+                key = canonical_key(
+                    machine, list(sim._queue) + batch, syms, histories)
+                if key is None:
+                    stats["unhashed"] += 1
+                elif run["fresh"]:
+                    visited.add(key)
+                else:
+                    if key in visited:
+                        stats["dedup_hits"] += 1
+                        raise _Pruned(len(choices))
+                    visited.add(key)
+            run["fresh"] = False
+            if len(batch) > 1:
+                rec = (machine.snapshot(), tuple(batch))
+                base = tuple(choices)
+                for j in range(1, len(batch)):
+                    branches.append((rec, base + (j,)))
+            choices.append(0)
+            return 0
+
+        sim.chooser = chooser
+
+        def run_one(branch):
+            """Execute one schedule; returns (violation, events run)."""
+            if branch is None:  # the root schedule, from cycle 0
+                run["choices"] = []
+                run["forced"] = None
+                run["fresh"] = True
+                run["npoints"] = 0
+            else:
+                (snap, batch), picks = branch
+                machine.restore(snap)
+                for ev in batch:
+                    heapq.heappush(sim._queue, ev)
+                run["choices"] = list(picks[:-1])
+                run["forced"] = picks[-1]
+                run["fresh"] = True
+                run["npoints"] = len(picks) - 1
+            start = sim.events_processed
+            violation: Optional[Violation] = None
+            try:
+                if branch is None:
+                    machine.prepare()
+                while _step(sim):
+                    report = machine.checker_report
+                    if report is not None and report.violations:
+                        v = report.violations[0]
+                        violation = Violation(f"checker:{v.rule}",
+                                              str(v))
+                        break
+                    check_state_invariants(machine)
+                if violation is None:
+                    machine.finish()
+                    if not machine.quiesced():
+                        violation = Violation(
+                            "quiescence",
+                            "event queue drained with in-flight work "
+                            "(buffered writes, uncollected acks, or "
+                            "open transactions) still outstanding")
+                    else:
+                        machine.check_coherence_invariants()
+                        built.final_check(machine)
+            except _Pruned:
+                pass
+            except DeadlockError as exc:
+                violation = Violation("deadlock", str(exc))
+            except CheckerError as exc:
+                rule = (exc.report.violations[0].rule
+                        if exc.report.violations else "unknown")
+                violation = Violation(f"checker:{rule}", str(exc))
+            except InvariantViolation as exc:
+                violation = Violation(f"invariant:{exc.rule}",
+                                      exc.detail)
+            except AssertionError as exc:
+                violation = Violation("assertion", str(exc))
+            except SimulationError as exc:
+                violation = Violation("livelock", str(exc))
+            except RuntimeError as exc:
+                violation = Violation("protocol-error", str(exc))
+            return violation, sim.events_processed - start
+
+        branch = None  # sentinel: first iteration runs the root
+        while True:
             if schedules >= max_schedules:
                 complete = False
                 break
-            prefix = stack.pop()
-            machine, built, histories, syms = _build(
-                litmus, config, max_events)
-            trace, violation, pruned_at, events = _run(
-                machine, built, histories, syms, prefix, visited, stats)
+            violation, events = run_one(branch)
             schedules += 1
             events_total += events
-            choice_points = max(choice_points, len(trace))
+            choice_points = max(choice_points, run["npoints"])
             if violation is not None:
                 complete = False
-                choices = _full_choices(prefix, trace)
+                choices = tuple(run["choices"])
                 if minimize:
                     choices = _minimize(litmus, config, choices,
                                         violation.kind, max_events)
                 return result(violation, choices)
-            limit = len(trace) if pruned_at is None else pruned_at
-            for i in range(len(prefix), limit):
-                for j in range(1, trace[i]):
-                    stack.append(prefix + (0,) * (i - len(prefix)) + (j,))
+            if not branches:
+                break
+            branch = branches.pop()
     return result(None, None)

@@ -71,20 +71,17 @@ def check_state_invariants(machine) -> None:
 
     holders: Dict[int, List[Tuple[int, CacheLine]]] = {}
     for ctrl in ctrls:
-        for ways in ctrl.cache._sets:
-            for line in ways:
-                if line.state is not CacheState.INVALID:
-                    holders.setdefault(line.block, []).append(
-                        (ctrl.node, line))
-                if (line.state is not CacheState.INVALID
-                        and _cu_managed(machine, line.block)
-                        and line.update_count >= cfg.update_threshold):
-                    raise InvariantViolation(
-                        "cu-counter",
-                        f"node {ctrl.node} blk {line.block}: update "
-                        f"counter {line.update_count} reached the drop "
-                        f"threshold {cfg.update_threshold} while the "
-                        f"line is still resident")
+        for line in ctrl.cache.iter_lines():
+            holders.setdefault(line.block, []).append(
+                (ctrl.node, line))
+            if (_cu_managed(machine, line.block)
+                    and line.update_count >= cfg.update_threshold):
+                raise InvariantViolation(
+                    "cu-counter",
+                    f"node {ctrl.node} blk {line.block}: update "
+                    f"counter {line.update_count} reached the drop "
+                    f"threshold {cfg.update_threshold} while the "
+                    f"line is still resident")
 
     for block, copies in holders.items():
         dirty = [(n, ln) for n, ln in copies

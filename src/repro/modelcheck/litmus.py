@@ -151,8 +151,11 @@ def _build_sb(machine) -> Built:
             res[key] = yield Read(second)
         return prog
 
-    machine.spawn(0, side(x, y, "r0")(0))
-    machine.spawn(1, side(y, x, "r1")(1))
+    p0, p1 = side(x, y, "r0"), side(y, x, "r1")
+    machine.spawn(0, p0(0), factory=lambda: p0(0))
+    machine.spawn(1, p1(1), factory=lambda: p1(1))
+    # ``res`` is written by the threads: snapshot/restore must rewind it
+    machine.snapshot_containers.append(res)
 
     def final(m) -> None:
         if res.get("r0") == 0 and res.get("r1") == 0:
@@ -187,9 +190,9 @@ def _build_mp(machine) -> Built:
             raise AssertionError(
                 f"mp: consumer {node} saw flag=1 but data={got}")
 
-    machine.spawn(0, producer(0))
-    machine.spawn(1, consumer(1))
-    machine.spawn(2, consumer(2))
+    machine.spawn(0, producer(0), factory=lambda: producer(0))
+    machine.spawn(1, consumer(1), factory=lambda: consumer(1))
+    machine.spawn(2, consumer(2), factory=lambda: consumer(2))
 
     def final(m) -> None:
         if final_value(m, flag) != 1:
@@ -224,8 +227,8 @@ def _build_lock(machine) -> Built:
         yield Write(lock, 0)
         yield Fence()
 
-    machine.spawn(1, contender(1))
-    machine.spawn(2, contender(2))
+    machine.spawn(1, contender(1), factory=lambda: contender(1))
+    machine.spawn(2, contender(2), factory=lambda: contender(2))
 
     def final(m) -> None:
         got = final_value(m, count)
@@ -259,7 +262,7 @@ def _build_barrier(machine) -> Built:
             yield SpinUntil(sense, _eq1)
 
     for n in range(arrivals):
-        machine.spawn(n, arriver(n))
+        machine.spawn(n, arriver(n), factory=lambda n=n: arriver(n))
 
     def final(m) -> None:
         got = final_value(m, count)
@@ -291,8 +294,8 @@ def _build_evict(machine) -> Built:
     def watcher(node):
         yield SpinUntil(x, _eq1)
 
-    machine.spawn(0, writer(0))
-    machine.spawn(1, watcher(1))
+    machine.spawn(0, writer(0), factory=lambda: writer(0))
+    machine.spawn(1, watcher(1), factory=lambda: watcher(1))
 
     def final(m) -> None:
         if final_value(m, x) != 1:
@@ -324,8 +327,10 @@ def _build_subword(machine) -> Built:
                     f"{mask:#06x}")
         return prog
 
-    machine.spawn(0, mixer(0x11, 0x22, 0x00FF)(0))
-    machine.spawn(1, mixer(0x1100, 0x2200, 0xFF00)(1))
+    m0 = mixer(0x11, 0x22, 0x00FF)
+    m1 = mixer(0x1100, 0x2200, 0xFF00)
+    machine.spawn(0, m0(0), factory=lambda: m0(0))
+    machine.spawn(1, m1(1), factory=lambda: m1(1))
 
     def final(m) -> None:
         got = final_value(m, w)

@@ -330,13 +330,15 @@ def _enc_proc(p) -> tuple:
 
 def _enc_ctrl(c, base: int) -> tuple:
     lines = []
-    for ways in c.cache._sets:
-        if len(ways) > 1:
+    cache = c.cache
+    for s in range(cache.num_sets):
+        slots = cache._set_slots(s)
+        if len(slots) > 1:
             # within-set LRU order would need its own canonical form;
             # litmus configs keep at most one line per set
             raise Unencodable("multi-line set (LRU order not canonical)")
-        for line in ways:
-            lines.append(_enc_line(line))
+        for slot in slots:
+            lines.append(_enc_line(cache._lines[slot]))
     watchers = ("SORT",) + tuple(
         (("B", b), tuple(_enc_cb(cb) for cb in cbs))
         for b, cbs in c.cache._watchers.items() if cbs)

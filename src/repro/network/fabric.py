@@ -87,6 +87,11 @@ class Network:
         P = config.num_procs
         self._handlers: List[Optional[Callable[[Message], None]]] = (
             [None] * P)
+        # optional per-node dispatch tables (MsgType.index -> bound
+        # handler); when present, send() schedules the delivery straight
+        # into the protocol handler instead of routing through _deliver
+        self._dispatch: List[Optional[List[
+            Optional[Callable[[Message], None]]]]] = [None] * P
         # busy-until times of each node's egress / ingress NIC
         self._src_free = [0] * P
         self._dst_free = [0] * P
@@ -116,10 +121,23 @@ class Network:
         self._sent_counts = [0] * P
         self._recv_counts = [0] * P
 
-    def register(self, node: int, handler: Callable[[Message], None]) -> None:
+    def register(self, node: int, handler: Callable[[Message], None],
+                 dispatch: Optional[List[
+                     Optional[Callable[[Message], None]]]] = None) -> None:
+        """Register ``handler`` as node ``node``'s receive entry point.
+
+        ``dispatch``, when given, is a live ``MsgType.index``-indexed
+        list of bound handlers: deliveries of listed types bypass
+        ``handler`` entirely (one scheduled callback, zero dispatch
+        work at delivery time).  Types with a ``None`` slot still fall
+        back to ``handler``, which owns the unhandled-message error
+        path.  Callers that need to observe every delivery (tracing,
+        model checking) simply register without a table.
+        """
         if self._handlers[node] is not None:
             raise ValueError(f"node {node} already has a handler")
         self._handlers[node] = handler
+        self._dispatch[node] = dispatch
 
     # ------------------------------------------------------------------
 
@@ -223,6 +241,12 @@ class Network:
         self._sent_counts[src] += 1
         self._recv_counts[dst] += 1
         self._n_contention += queued
+        dtable = self._dispatch[dst]
+        if dtable is not None:
+            target = dtable[ti]
+            if target is not None:
+                sim.at(deliver, target, msg)
+                return
         sim.at(deliver, self._deliver, msg)
 
     def _deliver(self, msg: Message) -> None:
@@ -230,3 +254,35 @@ class Network:
         if handler is None:
             raise RuntimeError(f"no handler registered for node {msg.dst}")
         handler(msg)
+
+    # ------------------------------------------------------------------
+    # snapshot / restore
+    # ------------------------------------------------------------------
+
+    def snapshot_state(self):
+        return (
+            self._src_free[:], self._dst_free[:],
+            self._jitter_rng.getstate() if self._jitter_rng else None,
+            self._n_messages, self._n_bytes, self._n_local,
+            self._n_contention, self._type_counts[:],
+            self._type_bytes[:], self._pair_counts[:],
+            self._sent_counts[:], self._recv_counts[:],
+        )
+
+    def restore_state(self, snap) -> None:
+        (src_free, dst_free, rng_state, n_messages, n_bytes, n_local,
+         n_contention, type_counts, type_bytes, pair_counts,
+         sent_counts, recv_counts) = snap
+        self._src_free[:] = src_free
+        self._dst_free[:] = dst_free
+        if rng_state is not None:
+            self._jitter_rng.setstate(rng_state)
+        self._n_messages = n_messages
+        self._n_bytes = n_bytes
+        self._n_local = n_local
+        self._n_contention = n_contention
+        self._type_counts[:] = type_counts
+        self._type_bytes[:] = type_bytes
+        self._pair_counts[:] = pair_counts
+        self._sent_counts[:] = sent_counts
+        self._recv_counts[:] = recv_counts

@@ -27,11 +27,12 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.engine import ControlledSimulator
 from repro.isa.ops import apply_atomic, merge_word
 from repro.memsys import (
     Cache, CacheState, Directory, MemoryModule, WriteBuffer,
 )
-from repro.memsys.cache import EvictReason
+from repro.memsys.cache import CACHE_STATES, EvictReason
 from repro.memsys.writebuffer import PendingWrite
 from repro.network.messages import MSG_TYPES, Message, MsgType
 
@@ -60,7 +61,9 @@ _VALIDATED_HANDLER_TABLES: set = set()
 
 def _validate_handler_table(cls, protocol) -> None:
     """Fail fast: every MsgType the protocol's declarative spec lists
-    as receivable must have a HANDLERS entry on this class."""
+    as receivable must have a HANDLERS entry on this class, and the
+    class must not claim to handle messages the spec never routes to a
+    node (the spec is the single source of truth for dispatch)."""
     key = (cls, protocol)
     if key in _VALIDATED_HANDLER_TABLES:
         return
@@ -72,7 +75,8 @@ def _validate_handler_table(cls, protocol) -> None:
         # nothing to validate against
         _VALIDATED_HANDLER_TABLES.add(key)
         return
-    missing = sorted(m.name for m in spec.receivable()
+    receivable = spec.receivable()
+    missing = sorted(m.name for m in receivable
                      if m not in cls.HANDLERS)
     if missing:
         details = []
@@ -86,7 +90,47 @@ def _validate_handler_table(cls, protocol) -> None:
             f"{', '.join(details)}; every message the {spec.protocol} "
             f"spec routes to a node needs a handler before the "
             f"simulation starts")
+    extra = sorted(m.name for m in cls.HANDLERS if m not in receivable)
+    if extra:
+        raise HandlerTableError(
+            f"{cls.__name__} handles {', '.join(extra)} but the "
+            f"{spec.protocol!r} spec never routes "
+            f"{'them' if len(extra) > 1 else 'it'} to a node; either "
+            f"the spec table is missing receive rows or the handler "
+            f"entry is dead")
     _VALIDATED_HANDLER_TABLES.add(key)
+
+
+#: (controller class, protocol) -> dense handler-name tuple indexed by
+#: ``MsgType.index``, compiled once per process
+_DISPATCH_TABLES: Dict[tuple, Tuple[Optional[str], ...]] = {}
+
+
+def compile_dispatch(cls, protocol) -> Tuple[Optional[str], ...]:
+    """Compile the per-class dispatch table from the protocol's
+    declarative spec: exactly the message types
+    :meth:`~repro.protospec.model.ProtocolSpec.receivable` lists get a
+    handler-name slot (``MsgType.index``-indexed); everything else is
+    ``None`` and fails loudly at :meth:`NodeCtrl.receive`.
+
+    Falls back to the class's own HANDLERS keys when the protocol has
+    no spec (custom/experimental controllers).
+    """
+    key = (cls, protocol)
+    table = _DISPATCH_TABLES.get(key)
+    if table is not None:
+        return table
+    _validate_handler_table(cls, protocol)
+    try:
+        from repro.protospec import get_spec
+        routed = get_spec(protocol).receivable()
+    except KeyError:
+        routed = cls.HANDLERS.keys()
+    names: List[Optional[str]] = [None] * len(MSG_TYPES)
+    for mtype in routed:
+        names[mtype.index] = cls.HANDLERS[mtype]
+    table = _DISPATCH_TABLES[key] = tuple(names)
+    return table
 
 
 class NodeCtrl:
@@ -128,9 +172,22 @@ class NodeCtrl:
         #: after a writeback race resolves (FWD_NACK path)
         self._txn: Dict[int, Tuple[Callable[[Message], None], Message]] = {}
 
-        _validate_handler_table(type(self), cfg.protocol)
-        self.net.register(node, self.receive)
+        #: bitmask over state codes: ``1 << code`` set when a local read
+        #: hits in that state (hot-path form of READABLE_STATES)
+        self._readable_mask = 0
+        for s in self.READABLE_STATES:
+            self._readable_mask |= 1 << s.code
+
         self._handlers = self._build_handlers()
+        # Direct dispatch: the fabric delivers straight into the handler,
+        # skipping receive()'s per-message indirection.  Disabled when
+        # the tracer wants a record of every delivery and under the
+        # model checker, whose invariants and replay traces identify
+        # in-flight messages by the Network._deliver callback.
+        direct = (not self.tracer.enabled
+                  and not isinstance(self.sim, ControlledSimulator))
+        self.net.register(node, self.receive,
+                          self._handlers if direct else None)
 
     # ------------------------------------------------------------------
     # subclass wiring
@@ -141,12 +198,13 @@ class NodeCtrl:
 
     def _build_handlers(self) -> List[Optional[Callable[[Message], None]]]:
         # a flat list indexed by MsgType.index: the dispatch runs once
-        # per delivered message, and list indexing skips the enum hash
-        out: List[Optional[Callable[[Message], None]]] = (
-            [None] * len(MSG_TYPES))
-        for mtype, name in self.HANDLERS.items():
-            out[mtype.index] = getattr(self, name)
-        return out
+        # per delivered message, and list indexing skips the enum hash.
+        # The populated slots come from the protocol spec's receivable
+        # set, not from HANDLERS directly -- the declarative tables are
+        # the source of truth for what a node may be sent.
+        names = compile_dispatch(type(self), self.config.protocol)
+        return [getattr(self, name) if name is not None else None
+                for name in names]
 
     def receive(self, msg: Message) -> None:
         handler = self._handlers[msg.mtype.index]
@@ -214,7 +272,8 @@ class NodeCtrl:
                 break
         if base is None:
             line = self.cache.lookup(block)
-            if line is not None and line.state in self.READABLE_STATES:
+            if line is not None and \
+                    self._readable_mask >> line.state_code & 1:
                 base = line.data.get(word, 0)
             elif not pending:
                 return False, None
@@ -252,8 +311,11 @@ class NodeCtrl:
         self._send(MsgType.READ_REQ, self.home_of(block), block,
                    requester=self.node)
 
-    def _complete_fill(self, msg: Message, state: CacheState) -> None:
-        """Install a fill and resume the stalled read."""
+    def _complete_fill(self, msg: Message, state) -> None:
+        """Install a fill and resume the stalled read.  ``state`` is an
+        int state code (enum members also accepted)."""
+        if type(state) is not int:
+            state = state.code
         pend = self._pending_fill
         if pend is None or pend.block != msg.block:
             raise RuntimeError(
@@ -263,7 +325,7 @@ class NodeCtrl:
         if self.san is not None:
             self.san.check_read(self.node, msg.block, pend.word,
                                 data.get(pend.word, 0),
-                                state=state.value)
+                                state=CACHE_STATES[state].value)
         evicted = self.cache.install(msg.block, state, data, msg.seq)
         if evicted is not None:
             self._evict(evicted.block, evicted.state, evicted.data,
@@ -468,6 +530,50 @@ class NodeCtrl:
         FIFO delivery guarantee the writeback has already been processed,
         so the transaction can simply be retried."""
         self._retry_txn(msg.block)
+
+    # ------------------------------------------------------------------
+    # snapshot / restore
+    # ------------------------------------------------------------------
+
+    def snapshot_state(self):
+        """O(state) copy of everything this controller mutates during a
+        run.  Objects referenced by pending events / closures
+        (PendingFill, the atomic record, transaction messages) are
+        shared with the snapshot and restored in place, so callbacks
+        captured before the snapshot stay valid after a restore."""
+        pf = self._pending_fill
+        return (
+            self.cache.snapshot_state(),
+            self.wb.snapshot_state(),
+            self.mem.snapshot_state(),
+            self.directory.snapshot_state(),
+            self.outstanding_acks,
+            self._retiring,
+            tuple(self._fence_waiters),
+            tuple(self._drain_waiters),
+            pf,
+            pf.inv_seq if pf is not None else None,
+            self._pending_atomic,
+            dict(self._txn),
+        )
+
+    def restore_state(self, snap) -> None:
+        (cache_snap, wb_snap, mem_snap, dir_snap, acks, retiring,
+         fence_waiters, drain_waiters, pf, inv_seq, pending_atomic,
+         txn) = snap
+        self.cache.restore_state(cache_snap)
+        self.wb.restore_state(wb_snap)
+        self.mem.restore_state(mem_snap)
+        self.directory.restore_state(dir_snap)
+        self.outstanding_acks = acks
+        self._retiring = retiring
+        self._fence_waiters = list(fence_waiters)
+        self._drain_waiters = list(drain_waiters)
+        self._pending_fill = pf
+        if pf is not None:
+            pf.inv_seq = inv_seq
+        self._pending_atomic = pending_atomic
+        self._txn = dict(txn)
 
     # ------------------------------------------------------------------
     # introspection

@@ -27,6 +27,10 @@ Atomic instructions execute *at the home memory*: the requester sends an
 ATOMIC_REQ, the home performs the operation, replies with the result,
 and propagates the new value to all sharers (whose acks are collected by
 the requester under release consistency).
+
+Hot-path convention: as in :mod:`repro.protocols.wi`, cache/directory
+states are plain int codes (``STATE_*`` / ``DIR_*``) and the sharer
+bitmap is manipulated with integer bit ops.
 """
 
 from __future__ import annotations
@@ -34,8 +38,12 @@ from __future__ import annotations
 from typing import Any, Callable, Dict
 
 from repro.isa.ops import apply_atomic, merge_word
-from repro.memsys.cache import CacheLine, CacheState, EvictReason
-from repro.memsys.directory import DirState
+from repro.memsys.cache import (
+    STATE_RETAINED, STATE_VALID, CacheLine, CacheState, EvictReason,
+)
+from repro.memsys.directory import (
+    DIR_DIRTY, DIR_SHARED, DIR_UNOWNED, mask_nodes,
+)
 from repro.network.messages import Message, MsgType
 from repro.protocols.base import NodeCtrl
 
@@ -78,7 +86,7 @@ class PUNodeCtrl(NodeCtrl):
             self._send(MsgType.READ_REQ, self.home_of(pw.block), pw.block,
                        requester=self.node, write_id=pw.write_id)
             return  # resumes in _cache_read_reply with the write_id echoed
-        if line.state is CacheState.RETAINED:
+        if line.state_code == STATE_RETAINED:
             # effectively private: keep the write local
             merged = merge_word(line.data.get(pw.word, 0), pw.value,
                                 pw.mask)
@@ -109,7 +117,7 @@ class PUNodeCtrl(NodeCtrl):
         if msg.retain:
             line = self.cache.lookup(msg.block)
             if line is not None:
-                line.state = CacheState.RETAINED
+                line.state_code = STATE_RETAINED
                 if self.san is not None:
                     self.san.on_exclusive(self.node, msg.block)
             else:
@@ -166,7 +174,7 @@ class PUNodeCtrl(NodeCtrl):
                 raise RuntimeError(
                     f"node {self.node}: allocate fill for write "
                     f"{msg.write_id} does not match retiring write {pw}")
-            evicted = self.cache.install(msg.block, CacheState.VALID,
+            evicted = self.cache.install(msg.block, STATE_VALID,
                                          msg.data or {}, msg.seq)
             if evicted is not None:
                 self._evict(evicted.block, evicted.state, evicted.data,
@@ -181,14 +189,14 @@ class PUNodeCtrl(NodeCtrl):
                        word=pw.word, value=pw.value, mask=pw.mask,
                        write_id=pw.write_id)
             return
-        self._complete_fill(msg, CacheState.VALID)
+        self._complete_fill(msg, STATE_VALID)
 
     def _cache_recall(self, msg: Message) -> None:
         """Home needs our retained (dirty) copy back."""
         line = self.cache.lookup(msg.block)
         if line is not None:
             data = dict(line.data)
-            line.state = CacheState.VALID
+            line.state_code = STATE_VALID
             line.dirty_words.clear()
             self._send(MsgType.RECALL_REPLY, msg.src, msg.block, data=data)
         else:
@@ -250,7 +258,7 @@ class PUNodeCtrl(NodeCtrl):
 
     def _read_txn(self, msg: Message) -> None:
         ent = self.directory.entry(msg.block)
-        if ent.state is DirState.DIRTY:
+        if ent.dstate == DIR_DIRTY:
             self._send(MsgType.RECALL, ent.owner, msg.block)
             return  # resumes on RECALL_REPLY (or FWD_NACK retry)
         seq = ent.next_seq()
@@ -260,8 +268,8 @@ class PUNodeCtrl(NodeCtrl):
             data = self.mem.read_block(msg.block)
             self._send(MsgType.READ_REPLY, msg.requester, msg.block,
                        data=data, seq=seq, write_id=msg.write_id)
-            ent.state = DirState.SHARED
-            ent.sharers.add(msg.requester)
+            ent.dstate = DIR_SHARED
+            ent.sharer_mask |= 1 << msg.requester
             self._end_txn(msg.block)
 
         self.sim.at(t, finish)
@@ -271,7 +279,7 @@ class PUNodeCtrl(NodeCtrl):
 
     def _update_txn(self, msg: Message) -> None:
         ent = self.directory.entry(msg.block)
-        if ent.state is DirState.DIRTY:
+        if ent.dstate == DIR_DIRTY:
             if ent.owner == msg.src:
                 raise RuntimeError(
                     f"home {self.node}: write-through from the retaining "
@@ -287,7 +295,7 @@ class PUNodeCtrl(NodeCtrl):
                 self.san.record_value(msg.word, merged)
             self.mem.write_word(msg.word, merged)
             self.miss_cls.record_write(msg.block, msg.word, msg.src)
-            receivers = sorted(ent.sharers - {msg.src})
+            receivers = mask_nodes(ent.sharer_mask & ~(1 << msg.src))
             if receivers:
                 issue_done = self._issue_props(msg.block, msg.word,
                                                merged, msg.src,
@@ -301,11 +309,11 @@ class PUNodeCtrl(NodeCtrl):
                 self.sim.at(issue_done, ack)
             else:
                 retain = (self.config.retain_private
-                          and msg.src in ent.sharers)
+                          and ent.sharer_mask >> msg.src & 1 == 1)
                 if retain:
-                    ent.state = DirState.DIRTY
+                    ent.dstate = DIR_DIRTY
                     ent.owner = msg.src
-                    ent.sharers.clear()
+                    ent.sharer_mask = 0
                 self._send(MsgType.WRITER_ACK, msg.src, msg.block,
                            nacks=0, retain=retain, write_id=msg.write_id)
                 self._end_txn(msg.block)
@@ -317,7 +325,7 @@ class PUNodeCtrl(NodeCtrl):
 
     def _atomic_txn(self, msg: Message) -> None:
         ent = self.directory.entry(msg.block)
-        if ent.state is DirState.DIRTY:
+        if ent.dstate == DIR_DIRTY:
             self._send(MsgType.RECALL, ent.owner, msg.block)
             return
         t = self.mem.reserve(self.mem.word_access_cycles())
@@ -329,7 +337,8 @@ class PUNodeCtrl(NodeCtrl):
                 self.san.record_value(msg.word, new)
             self.mem.write_word(msg.word, new)
             self.miss_cls.record_write(msg.block, msg.word, msg.requester)
-            receivers = sorted(ent.sharers - {msg.requester})
+            receivers = mask_nodes(ent.sharer_mask
+                                   & ~(1 << msg.requester))
             # the reply goes out right away; the propagation loop
             # occupies the directory controller afterwards
             self._send(MsgType.ATOMIC_REPLY, msg.requester, msg.block,
@@ -367,9 +376,9 @@ class PUNodeCtrl(NodeCtrl):
 
         def finish() -> None:
             self.mem.write_block(msg.block, msg.data or {})
-            ent.state = DirState.SHARED
+            ent.dstate = DIR_SHARED
             ent.owner = -1
-            ent.sharers.add(msg.src)  # the ex-owner remains a sharer
+            ent.sharer_mask |= 1 << msg.src  # the ex-owner stays a sharer
             self._retry_txn(msg.block)
 
         self.sim.at(t, finish)
@@ -378,10 +387,10 @@ class PUNodeCtrl(NodeCtrl):
         """Eviction/flush of a retained block; processed immediately so a
         racing recall's retry observes the directory already updated."""
         ent = self.directory.entry(msg.block)
-        if ent.state is DirState.DIRTY and ent.owner == msg.src:
-            ent.state = DirState.UNOWNED
+        if ent.dstate == DIR_DIRTY and ent.owner == msg.src:
+            ent.dstate = DIR_UNOWNED
             ent.owner = -1
-        ent.sharers.discard(msg.src)
+        ent.sharer_mask &= ~(1 << msg.src)
         t = self.mem.reserve(self.mem.block_access_cycles())
         data = msg.data or {}
         self.sim.at(t, lambda: self.mem.write_block(msg.block, data))
@@ -390,14 +399,14 @@ class PUNodeCtrl(NodeCtrl):
         """A sharer dropped/flushed its copy (or cancels a retain grant
         that arrived after it lost the line)."""
         ent = self.directory.entry(msg.block)
-        ent.sharers.discard(msg.src)
-        if ent.state is DirState.DIRTY and ent.owner == msg.src:
+        ent.sharer_mask &= ~(1 << msg.src)
+        if ent.dstate == DIR_DIRTY and ent.owner == msg.src:
             # retain-cancel: memory is current (the owner never wrote
             # locally in RETAINED state)
-            ent.state = DirState.UNOWNED
+            ent.dstate = DIR_UNOWNED
             ent.owner = -1
-        elif ent.state is DirState.SHARED and not ent.sharers:
-            ent.state = DirState.UNOWNED
+        elif ent.dstate == DIR_SHARED and not ent.sharer_mask:
+            ent.dstate = DIR_UNOWNED
 
 
 class CUNodeCtrl(PUNodeCtrl):

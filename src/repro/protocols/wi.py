@@ -23,6 +23,12 @@ A FETCH/RDEX forward that races with the ex-owner's in-flight writeback
 is FWD_NACKed; the FIFO delivery guarantee means the writeback has
 already landed at the home by then, so the transaction simply retries
 and is served from (now current) memory.
+
+Hot-path convention: cache/directory states are compared and assigned
+as plain int codes (``STATE_*`` / ``DIR_*``) and the sharer bitmap is
+manipulated with integer bit ops; :mod:`repro.staticcheck` extracts
+both the enum and the int-code spellings when diffing handlers against
+the declarative tables.
 """
 
 from __future__ import annotations
@@ -30,8 +36,12 @@ from __future__ import annotations
 from typing import Any, Callable, Dict
 
 from repro.isa.ops import apply_atomic, merge_word
-from repro.memsys.cache import CacheState, EvictReason
-from repro.memsys.directory import DirState
+from repro.memsys.cache import (
+    STATE_MODIFIED, STATE_SHARED, CacheState, EvictReason,
+)
+from repro.memsys.directory import (
+    DIR_DIRTY, DIR_SHARED, DIR_UNOWNED, mask_nodes,
+)
 from repro.network.messages import Message, MsgType
 from repro.protocols.base import NodeCtrl
 
@@ -76,11 +86,11 @@ class WINodeCtrl(NodeCtrl):
 
     def _retire(self, pw) -> None:
         line = self.cache.lookup(pw.block)
-        if line is not None and line.state is CacheState.MODIFIED:
+        if line is not None and line.state_code == STATE_MODIFIED:
             # exclusive: write locally, no traffic
             self._apply_store(line, pw)
             self.sim.schedule(1, self._retire_done)
-        elif line is not None and line.state is CacheState.SHARED:
+        elif line is not None and line.state_code == STATE_SHARED:
             # the paper's "exclusive request" transaction
             self.miss_cls.record_upgrade(self.node, pw.block)
             self._send(MsgType.UPGRADE_REQ, self.home_of(pw.block),
@@ -104,7 +114,7 @@ class WINodeCtrl(NodeCtrl):
             self._send(MsgType.RDEX_REQ, self.home_of(msg.block),
                        msg.block, requester=self.node, word=pw.word)
             return
-        line.state = CacheState.MODIFIED
+        line.state_code = STATE_MODIFIED
         line.seq = msg.seq
         if self.san is not None:
             self.san.on_exclusive(self.node, msg.block)
@@ -118,7 +128,7 @@ class WINodeCtrl(NodeCtrl):
             self._finish_atomic(msg, needs_install=True)
             return
         pw = self.wb.head()
-        evicted = self.cache.install(msg.block, CacheState.MODIFIED,
+        evicted = self.cache.install(msg.block, STATE_MODIFIED,
                                      msg.data or {}, msg.seq)
         if evicted is not None:
             self._evict(evicted.block, evicted.state, evicted.data,
@@ -134,7 +144,7 @@ class WINodeCtrl(NodeCtrl):
     # ==================================================================
 
     def _cache_fill_shared(self, msg: Message) -> None:
-        self._complete_fill(msg, CacheState.SHARED)
+        self._complete_fill(msg, STATE_SHARED)
 
     # ==================================================================
     # cache side: atomics (computed in the cache controller)
@@ -144,7 +154,7 @@ class WINodeCtrl(NodeCtrl):
                       operand: Any, cb: Callable[[Any], None]) -> None:
         self._ref(block, word)
         line = self.cache.lookup(block)
-        if line is not None and line.state is CacheState.MODIFIED:
+        if line is not None and line.state_code == STATE_MODIFIED:
             old = line.data.get(word, 0)
             new, result = apply_atomic(opname, old, operand)
             if self.san is not None:
@@ -157,7 +167,7 @@ class WINodeCtrl(NodeCtrl):
             "opname": opname, "block": block, "word": word,
             "operand": operand, "cb": cb,
         }
-        if line is not None and line.state is CacheState.SHARED:
+        if line is not None and line.state_code == STATE_SHARED:
             self.miss_cls.record_upgrade(self.node, block)
             self._send(MsgType.UPGRADE_REQ, self.home_of(block), block,
                        requester=self.node, word=word)
@@ -169,7 +179,7 @@ class WINodeCtrl(NodeCtrl):
     def _finish_atomic(self, msg: Message, needs_install: bool) -> None:
         pa = self._pending_atomic
         if needs_install:
-            evicted = self.cache.install(msg.block, CacheState.MODIFIED,
+            evicted = self.cache.install(msg.block, STATE_MODIFIED,
                                          msg.data or {}, msg.seq)
             if evicted is not None:
                 self._evict(evicted.block, evicted.state, evicted.data,
@@ -182,7 +192,7 @@ class WINodeCtrl(NodeCtrl):
                            msg.block, requester=self.node,
                            word=pa["word"])
                 return
-            line.state = CacheState.MODIFIED
+            line.state_code = STATE_MODIFIED
             line.seq = msg.seq
         self._pending_atomic = None
         if self.san is not None:
@@ -228,9 +238,9 @@ class WINodeCtrl(NodeCtrl):
     def _cache_fetch_fwd(self, msg: Message) -> None:
         """Home forwarded a read to us (we own the block dirty)."""
         line = self.cache.lookup(msg.block)
-        if line is not None and line.state is CacheState.MODIFIED:
+        if line is not None and line.state_code == STATE_MODIFIED:
             data = dict(line.data)
-            line.state = CacheState.SHARED
+            line.state_code = STATE_SHARED
             self._send(MsgType.OWNER_DATA, msg.requester, msg.block,
                        data=data, seq=msg.seq)
             self._send(MsgType.SHARING_WB, msg.src, msg.block,
@@ -242,7 +252,7 @@ class WINodeCtrl(NodeCtrl):
     def _cache_fetch_inv_fwd(self, msg: Message) -> None:
         """Home forwarded a write/rdex to us; transfer ownership."""
         line = self.cache.lookup(msg.block)
-        if line is not None and line.state is CacheState.MODIFIED:
+        if line is not None and line.state_code == STATE_MODIFIED:
             data = dict(line.data)
             self.miss_cls.record_leave(self.node, msg.block,
                                        EvictReason.INVALIDATION)
@@ -276,7 +286,7 @@ class WINodeCtrl(NodeCtrl):
 
     def _read_txn(self, msg: Message) -> None:
         ent = self.directory.entry(msg.block)
-        if ent.state is DirState.DIRTY:
+        if ent.dstate == DIR_DIRTY:
             self._send(MsgType.FETCH_FWD, ent.owner, msg.block,
                        requester=msg.requester, seq=ent.next_seq())
             return  # completes on SHARING_WB (or retries on FWD_NACK)
@@ -287,8 +297,8 @@ class WINodeCtrl(NodeCtrl):
             data = self.mem.read_block(msg.block)
             self._send(MsgType.READ_REPLY, msg.requester, msg.block,
                        data=data, seq=seq)
-            ent.state = DirState.SHARED
-            ent.sharers.add(msg.requester)
+            ent.dstate = DIR_SHARED
+            ent.sharer_mask |= 1 << msg.requester
             self._end_txn(msg.block)
 
         self.sim.at(t, finish)
@@ -312,12 +322,12 @@ class WINodeCtrl(NodeCtrl):
 
     def _rdex_txn(self, msg: Message) -> None:
         ent = self.directory.entry(msg.block)
-        if ent.state is DirState.DIRTY:
+        if ent.dstate == DIR_DIRTY:
             self._send(MsgType.FETCH_INV_FWD, ent.owner, msg.block,
                        requester=msg.requester, seq=ent.next_seq())
             return  # completes on DIRTY_TRANSFER (or retries on NACK)
         seq = ent.next_seq()
-        invs = sorted(ent.sharers - {msg.requester})
+        invs = mask_nodes(ent.sharer_mask & ~(1 << msg.requester))
         issue_done = self._issue_invalidations(msg, invs, seq)
         t = self.mem.reserve(self.mem.block_access_cycles())
 
@@ -325,9 +335,9 @@ class WINodeCtrl(NodeCtrl):
             data = self.mem.read_block(msg.block)
             self._send(MsgType.RDEX_REPLY, msg.requester, msg.block,
                        data=data, nacks=len(invs), seq=seq)
-            ent.state = DirState.DIRTY
+            ent.dstate = DIR_DIRTY
             ent.owner = msg.requester
-            ent.sharers.clear()
+            ent.sharer_mask = 0
             # the entry must not reopen before the DIRTY commit above:
             # a queued read popped against the pre-commit state would
             # hand out a SHARED copy alongside the new owner's M copy
@@ -343,18 +353,19 @@ class WINodeCtrl(NodeCtrl):
 
     def _upgrade_txn(self, msg: Message) -> None:
         ent = self.directory.entry(msg.block)
-        if ent.state is DirState.SHARED and msg.requester in ent.sharers:
+        if ent.dstate == DIR_SHARED and \
+                ent.sharer_mask >> msg.requester & 1:
             seq = ent.next_seq()
-            invs = sorted(ent.sharers - {msg.requester})
+            invs = mask_nodes(ent.sharer_mask & ~(1 << msg.requester))
             issue_done = self._issue_invalidations(msg, invs, seq)
             t = self.mem.reserve(self.mem.dir_cycles())
 
             def finish() -> None:
                 self._send(MsgType.UPGRADE_REPLY, msg.requester,
                            msg.block, nacks=len(invs), seq=seq)
-                ent.state = DirState.DIRTY
+                ent.dstate = DIR_DIRTY
                 ent.owner = msg.requester
-                ent.sharers.clear()
+                ent.sharer_mask = 0
                 # as in _rdex_txn: commit before the entry reopens
                 if issue_done <= t:
                     self._end_txn(msg.block)
@@ -374,9 +385,9 @@ class WINodeCtrl(NodeCtrl):
 
         def finish() -> None:
             self.mem.write_block(msg.block, msg.data or {})
-            ent.state = DirState.SHARED
+            ent.dstate = DIR_SHARED
             ent.owner = -1
-            ent.sharers = {msg.src, msg.requester}
+            ent.sharer_mask = (1 << msg.src) | (1 << msg.requester)
             self._end_txn(msg.block)
 
         self.sim.at(t, finish)
@@ -384,17 +395,17 @@ class WINodeCtrl(NodeCtrl):
     def _home_dirty_transfer(self, msg: Message) -> None:
         """Ownership moved between caches; completes a forwarded rdex."""
         ent = self.directory.entry(msg.block)
-        ent.state = DirState.DIRTY
+        ent.dstate = DIR_DIRTY
         ent.owner = msg.requester
-        ent.sharers.clear()
+        ent.sharer_mask = 0
         self._end_txn(msg.block)
 
     def _home_writeback(self, msg: Message) -> None:
         """Eviction writeback; processed immediately (never queued) so a
         racing forward's retry observes the directory already updated."""
         ent = self.directory.entry(msg.block)
-        if ent.state is DirState.DIRTY and ent.owner == msg.src:
-            ent.state = DirState.UNOWNED
+        if ent.dstate == DIR_DIRTY and ent.owner == msg.src:
+            ent.dstate = DIR_UNOWNED
             ent.owner = -1
         t = self.mem.reserve(self.mem.block_access_cycles())
         data = msg.data or {}

@@ -34,6 +34,31 @@ from repro.runtime.memory_map import MemoryMap
 from repro.runtime.processor import Processor, ThreadProgram
 
 
+class _RecordingGen:
+    """Wraps a thread generator, recording every value sent into it.
+
+    Python generators cannot be copied, so :meth:`Machine.snapshot`
+    instead saves the *history* of values a generator has consumed;
+    :meth:`Machine.restore` rebuilds a fresh generator from the
+    program's factory and replays the history into it (thread programs
+    are deterministic functions of the values they receive, so replay
+    reconstructs the generator's hidden state exactly).
+    """
+
+    __slots__ = ("gen", "history")
+
+    def __init__(self, gen, history) -> None:
+        self.gen = gen
+        self.history = history
+
+    def send(self, value):
+        self.history.append(value)
+        return self.gen.send(value)
+
+    def close(self) -> None:
+        self.gen.close()
+
+
 @dataclass
 class RunResult:
     """Everything the experiment harness needs from one simulation."""
@@ -95,12 +120,27 @@ class Machine:
         self.controllers = [make_controller(self, n)
                             for n in range(config.num_procs)]
         self.processors: List[Processor] = []
+        #: per-processor program factories (parallel to ``processors``);
+        #: required to rebuild generators on :meth:`restore`
+        self._factories: List[Any] = []
+        #: node -> recorded send-history (see :meth:`record_histories`)
+        self._histories: Dict[int, list] = {}
+        #: mutable containers (dicts/lists) captured by thread programs
+        #: that snapshot/restore must save alongside generator state
+        self.snapshot_containers: List[Any] = []
         self._ran = False
 
     # ------------------------------------------------------------------
 
-    def spawn(self, node: int, program: ThreadProgram) -> Processor:
-        """Create the thread that will run on ``node``."""
+    def spawn(self, node: int, program: ThreadProgram,
+              factory=None) -> Processor:
+        """Create the thread that will run on ``node``.
+
+        ``factory`` (a zero-argument callable returning a fresh,
+        equivalent generator) enables :meth:`snapshot` /
+        :meth:`restore` for this thread; without it the machine can
+        still snapshot, but only while the thread is finished.
+        """
         if not 0 <= node < self.config.num_procs:
             raise ValueError(f"node {node} out of range")
         if any(p.node == node and not p.done for p in self.processors):
@@ -108,6 +148,7 @@ class Machine:
         proc = Processor(self.sim, node, self.controllers[node], program,
                          machine=self)
         self.processors.append(proc)
+        self._factories.append(factory)
         return proc
 
     def fork(self, parent: Processor, node: int, program: ThreadProgram,
@@ -204,6 +245,129 @@ class Machine:
             proc_instructions=[p.instructions for p in self.processors],
             proc_spin_wakeups=[p.spin_wakeups for p in self.processors],
         )
+
+    # ------------------------------------------------------------------
+    # snapshot / restore
+    # ------------------------------------------------------------------
+
+    def record_histories(self) -> Dict[int, list]:
+        """Wrap every spawned generator in a :class:`_RecordingGen`.
+
+        Must be called after spawning and before :meth:`prepare` for
+        :meth:`snapshot` to capture live threads.  Returns the
+        ``node -> history`` map (also kept on the machine); the lists
+        are live -- they grow as the simulation resumes threads -- and
+        :meth:`restore` rewinds them in place, so references held by
+        callers (e.g. the model checker's canonical encoder) stay
+        valid across restores.
+        """
+        for proc in self.processors:
+            if isinstance(proc._gen, _RecordingGen):
+                continue
+            hist: list = []
+            self._histories[proc.node] = hist
+            proc._gen = _RecordingGen(proc._gen, hist)
+        return self._histories
+
+    def snapshot(self):
+        """O(state) copy of the entire machine mid-run.
+
+        Event tuples, messages, pending writes and thread ops are
+        immutable after creation, so the snapshot shares them by
+        reference; everything mutable is copied.  Global id counters
+        (write ids, message ids, event seq) are deliberately *not*
+        rewound -- consumers that need canonical state (the model
+        checker) rank-compress them.
+        """
+        procs = []
+        for p in self.processors:
+            gen = p._gen
+            hist = (list(gen.history)
+                    if isinstance(gen, _RecordingGen) else None)
+            procs.append((p.started, p.done, p.done_time,
+                          p.instructions, p.spin_wakeups, p.failure,
+                          p._current_op, tuple(p._done_callbacks),
+                          p._spin_addr, p._spin_word, p._spin_block,
+                          p._spin_pred, hist))
+        return (
+            self.sim.snapshot(),
+            [c.snapshot_state() for c in self.controllers],
+            self.net.snapshot_state(),
+            self.miss_classifier.snapshot_state(),
+            self.update_classifier.snapshot_state(),
+            (self.sanitizer.snapshot_state()
+             if self.sanitizer is not None else None),
+            (self.checker_report.snapshot_state()
+             if self.checker_report is not None else None),
+            procs,
+            [dict(c) if isinstance(c, dict) else list(c)
+             for c in self.snapshot_containers],
+            self._ran,
+        )
+
+    def restore(self, snap) -> None:
+        """Rewind the machine to a :meth:`snapshot`, in place.
+
+        Components are restored into the *existing* objects so that
+        callbacks and closures captured before the snapshot (pending
+        fills, spin watchers, scheduled events) remain valid.  Live
+        generators are rebuilt from their spawn factory by replaying
+        the recorded send-history (programs must be deterministic).
+        The snapshot itself is never mutated, so one snapshot can seed
+        any number of restores.
+        """
+        (sim_snap, ctrl_snaps, net_snap, miss_snap, upd_snap, san_snap,
+         report_snap, procs, containers, ran) = snap
+        self.sim.restore(sim_snap)
+        for ctrl, csnap in zip(self.controllers, ctrl_snaps):
+            ctrl.restore_state(csnap)
+        self.net.restore_state(net_snap)
+        self.miss_classifier.restore_state(miss_snap)
+        self.update_classifier.restore_state(upd_snap)
+        if san_snap is not None:
+            self.sanitizer.restore_state(san_snap)
+        if report_snap is not None:
+            self.checker_report.restore_state(report_snap)
+
+        # drop processors forked after the snapshot
+        del self.processors[len(procs):]
+        del self._factories[len(procs):]
+        for idx, (p, fields) in enumerate(zip(self.processors, procs)):
+            (p.started, p.done, p.done_time, p.instructions,
+             p.spin_wakeups, p.failure, p._current_op, done_cbs,
+             p._spin_addr, p._spin_word, p._spin_block, p._spin_pred,
+             hist) = fields
+            p._done_callbacks = list(done_cbs)
+            if p.done:
+                p._gen = None
+                continue
+            if hist is None:
+                raise RuntimeError(
+                    f"cannot restore node {p.node}: generator history "
+                    f"was not recorded (call record_histories() before "
+                    f"snapshot())")
+            factory = self._factories[idx]
+            if factory is None:
+                raise RuntimeError(
+                    f"cannot restore node {p.node}: no program factory "
+                    f"(pass factory= to spawn())")
+            gen = factory()
+            for value in hist:
+                gen.send(value)
+            hist_list = self._histories.get(p.node)
+            if hist_list is None:
+                hist_list = self._histories[p.node] = []
+            hist_list[:] = hist
+            p._gen = _RecordingGen(gen, hist_list)
+        # containers last: generator replay re-executes their writes,
+        # which the saved copies then overwrite with snapshot values
+        for cont, saved in zip(self.snapshot_containers, containers):
+            if isinstance(cont, dict):
+                cont.clear()
+                cont.update(saved)
+            else:
+                cont[:] = saved
+        self._ran = ran
 
     # ------------------------------------------------------------------
     # debugging / invariants (used heavily by the test suite)

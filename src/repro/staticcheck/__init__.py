@@ -19,7 +19,8 @@ import os
 
 from repro.staticcheck.analyzer import CHECKS, analyze_spec
 from repro.staticcheck.conformance import (
-    ExtractionError, check_conformance, handler_effects,
+    ExtractionError, check_conformance, check_dispatch_tables,
+    handler_effects,
 )
 from repro.staticcheck.report import (
     Finding, StaticCheckReport, SuppressionError, load_suppressions,
@@ -30,7 +31,8 @@ DEFAULT_SUPPRESSIONS = os.path.join(os.path.dirname(__file__),
                                     "suppressions.json")
 
 __all__ = [
-    "CHECKS", "analyze_spec", "check_conformance", "handler_effects",
+    "CHECKS", "analyze_spec", "check_conformance",
+    "check_dispatch_tables", "handler_effects",
     "ExtractionError", "Finding", "StaticCheckReport",
     "SuppressionError", "load_suppressions", "DEFAULT_SUPPRESSIONS",
 ]

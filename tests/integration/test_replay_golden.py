@@ -1,0 +1,36 @@
+"""Golden counterexample replay.
+
+``tests/data/modelcheck/`` holds a counterexample JSON produced by the
+mutant sweep (``wi-skip-invalidation`` on ``mp`` under WI) together
+with the exact transition trace its replay printed when it was
+committed.  The replay path is the model checker's external contract:
+a saved schedule must keep reproducing the same violation through the
+same transitions, whatever happens to the explorer internals (the
+snapshot-branching DFS rewrite included).  Any diff here means saved
+counterexamples in the wild just went stale.
+"""
+
+import io
+import json
+from pathlib import Path
+
+from repro.modelcheck import replay_file
+
+DATA = Path(__file__).resolve().parents[1] / "data" / "modelcheck"
+SCHEDULE = DATA / "mutant-wi-skip-invalidation.json"
+GOLDEN_TRACE = DATA / "mutant-wi-skip-invalidation.trace.txt"
+
+
+def test_counterexample_replay_matches_golden_trace():
+    out = io.StringIO()
+    rc = replay_file(str(SCHEDULE), out=out)
+    assert rc == 0, "replay no longer reproduces the recorded violation"
+    assert out.getvalue() == GOLDEN_TRACE.read_text()
+
+
+def test_counterexample_metadata_still_loads():
+    data = json.loads(SCHEDULE.read_text())
+    assert data["program"] == "mp"
+    assert data["protocol"] == "wi"
+    assert data["mutation"] == "wi-skip-invalidation"
+    assert data["violation"]["kind"] == "invariant:stale-copy"

@@ -1,0 +1,49 @@
+"""Property: interleaved snapshot/restore never changes outputs.
+
+For any litmus program, protocol and set of snapshot times, running
+with snapshot / run-ahead / restore cycles sprinkled through the
+simulation must produce a RunResult bit-identical to an undisturbed
+run of the same program -- the figure pipeline sits directly on these
+RunResults, so this is exactly the "snapshots cannot perturb figure
+points" guarantee the model checker's DFS relies on.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.campaign.result import run_result_to_jsonable
+from repro.config import Protocol
+from repro.modelcheck import get_program
+from repro.runtime import Machine
+
+PROGRAMS = ["sb", "mp", "lock", "barrier", "evict", "subword"]
+PROTOCOLS = [Protocol.WI, Protocol.PU, Protocol.CU, Protocol.HYBRID]
+
+
+def _run_plain(litmus, config) -> dict:
+    machine = Machine(config)
+    litmus.build(machine)
+    return run_result_to_jsonable(machine.run())
+
+
+@settings(deadline=None, max_examples=30)
+@given(st.sampled_from(PROGRAMS), st.sampled_from(PROTOCOLS),
+       st.lists(st.integers(1, 150), min_size=1, max_size=4),
+       st.integers(1, 25))
+def test_interleaved_snapshot_restore_is_invisible(
+        name, protocol, cuts, ahead):
+    litmus = get_program(name)
+    config = litmus.config(protocol)
+    ref = _run_plain(litmus, config)
+
+    machine = Machine(config)
+    litmus.build(machine)
+    machine.record_histories()
+    machine.prepare()
+    for cut in sorted(set(cuts)):
+        machine.sim.run(until=cut)
+        snap = machine.snapshot()
+        # perturb: run ahead past the snapshot, then rewind
+        machine.sim.run(until=cut + ahead)
+        machine.restore(snap)
+    machine.sim.run()
+    assert run_result_to_jsonable(machine.finish()) == ref

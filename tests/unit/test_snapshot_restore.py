@@ -1,0 +1,149 @@
+"""Snapshot/restore must be invisible to simulation results.
+
+The contract (docs/performance.md): ``Machine.snapshot()`` mid-run,
+followed by arbitrary further execution, followed by ``restore()``,
+must leave the machine in a state from which the run completes with a
+RunResult *bit-identical* to an undisturbed run -- every counter,
+classification, network statistic and per-processor metric included.
+"""
+
+import pytest
+
+from repro.campaign.result import run_result_to_jsonable
+from repro.config import MachineConfig, Protocol
+from repro.isa.ops import Compute, Fence, FetchAdd, Read, SpinUntil, Write
+from repro.runtime import Machine
+
+PROTOCOLS = [Protocol.WI, Protocol.PU, Protocol.CU, Protocol.HYBRID]
+
+
+def _eq1(v) -> bool:
+    return v == 1
+
+
+def _build(protocol: Protocol) -> Machine:
+    """Three nodes: two fetch-add contenders on a counter, one spinning
+    consumer -- touches atomics, spins, fences and evictions."""
+    cfg = MachineConfig(num_procs=3, protocol=protocol,
+                        cache_size_bytes=128,
+                        enable_sanitizer=True, checkers_strict=True)
+    machine = Machine(cfg)
+    mm = machine.memmap
+    count = mm.alloc_word(0, "count")
+    flag = mm.alloc_word(1, "flag")
+    scratch = mm.alloc_word(2, "scratch")
+    mm.mark_sync(count)
+
+    def bumper(node):
+        for i in range(4):
+            yield FetchAdd(count, 1)
+            yield Compute((node * 7 + i) % 5 + 1)
+            yield Write(scratch, node * 100 + i)
+        yield Fence()
+        if node == 0:
+            yield Write(flag, 1)
+            yield Fence()
+
+    def watcher(node):
+        yield SpinUntil(flag, _eq1)
+        yield Read(count)
+        yield Read(scratch)
+
+    machine.spawn(0, bumper(0), factory=lambda: bumper(0))
+    machine.spawn(1, bumper(1), factory=lambda: bumper(1))
+    machine.spawn(2, watcher(2), factory=lambda: watcher(2))
+    machine.record_histories()
+    return machine
+
+
+def _reference(protocol: Protocol) -> dict:
+    return run_result_to_jsonable(_build(protocol).run())
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS,
+                         ids=[p.value for p in PROTOCOLS])
+class TestSnapshotRestore:
+    def test_snapshot_mutate_restore_bit_identical(self, protocol):
+        ref = _reference(protocol)
+
+        machine = _build(protocol)
+        machine.prepare()
+        machine.sim.run(until=30)
+        snap = machine.snapshot()
+
+        # mutate: run the simulation all the way to completion...
+        machine.sim.run()
+        mutated = run_result_to_jsonable(machine.finish())
+        assert mutated == ref  # sanity: undisturbed result
+
+        # ...then rewind and run to completion again
+        machine.restore(snap)
+        machine.sim.run()
+        assert run_result_to_jsonable(machine.finish()) == ref
+
+    def test_one_snapshot_seeds_many_restores(self, protocol):
+        ref = _reference(protocol)
+
+        machine = _build(protocol)
+        machine.prepare()
+        machine.sim.run(until=15)
+        snap = machine.snapshot()
+        for _ in range(3):
+            machine.sim.run()
+            assert run_result_to_jsonable(machine.finish()) == ref
+            machine.restore(snap)
+        machine.sim.run()
+        assert run_result_to_jsonable(machine.finish()) == ref
+
+    def test_nested_snapshots_restore_in_any_order(self, protocol):
+        ref = _reference(protocol)
+
+        machine = _build(protocol)
+        machine.prepare()
+        machine.sim.run(until=10)
+        early = machine.snapshot()
+        machine.sim.run(until=40)
+        late = machine.snapshot()
+
+        machine.restore(early)
+        machine.sim.run()
+        assert run_result_to_jsonable(machine.finish()) == ref
+
+        machine.restore(late)
+        machine.sim.run()
+        assert run_result_to_jsonable(machine.finish()) == ref
+
+
+def test_restore_without_factory_raises():
+    cfg = MachineConfig(num_procs=2, protocol=Protocol.WI)
+    machine = Machine(cfg)
+    x = machine.memmap.alloc_word(0, "x")
+
+    def prog(node):
+        yield Write(x, node)
+        yield Fence()
+
+    machine.spawn(0, prog(0))  # no factory
+    machine.spawn(1, prog(1), factory=lambda: prog(1))
+    machine.record_histories()
+    machine.prepare()
+    snap = machine.snapshot()
+    with pytest.raises(RuntimeError, match="factory"):
+        machine.restore(snap)
+
+
+def test_restore_without_history_raises():
+    cfg = MachineConfig(num_procs=1, protocol=Protocol.WI)
+    machine = Machine(cfg)
+    x = machine.memmap.alloc_word(0, "x")
+
+    def prog(node):
+        yield Write(x, 1)
+        yield Fence()
+
+    machine.spawn(0, prog(0), factory=lambda: prog(0))
+    # record_histories() deliberately not called
+    machine.prepare()
+    snap = machine.snapshot()
+    with pytest.raises(RuntimeError, match="record_histories"):
+        machine.restore(snap)
