@@ -113,3 +113,61 @@ def test_barrier_kernel(proto):
     res = run_barrier_workload(cfg, "db", episodes=40)
     elapsed = time.perf_counter() - t0
     _record(f"barrier-{proto.value}", res.result.events, elapsed)
+
+
+# ----------------------------------------------------------------------
+# allocation regression
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("proto", [Protocol.WI, Protocol.PU, Protocol.CU])
+def test_steady_state_allocations(proto):
+    """The hot path is allocation-free in steady state.
+
+    After a warm-up run (caches filled, message pool populated,
+    directory entries built), net tracemalloc growth across the rest of
+    an MCS lock kernel must stay under a per-event byte budget from
+    ``core_floor.json``.  Without the message pool and bucket queue the
+    same kernel allocates ~27 bytes per event; with them it is < 1.
+    The budget (8 B/event) leaves headroom for counters and classifier
+    tables that legitimately grow with new blocks.
+    """
+    import tracemalloc
+
+    from repro.isa.ops import Compute
+    from repro.runtime import Machine
+    from repro.sync.locks import make_lock
+
+    with open(FLOOR_FILE, encoding="utf-8") as fh:
+        budget = json.load(fh)["steady_state_alloc_bytes_per_event"]
+
+    cfg = MachineConfig(num_procs=4, protocol=proto)
+    machine = Machine(cfg)
+    lock = make_lock("MCS", machine, home=0)
+
+    def program(node):
+        for _ in range(80):
+            token = yield from lock.acquire(node)
+            yield Compute(10)
+            yield from lock.release(node, token)
+
+    machine.spawn_all(program)
+    machine.prepare()
+    machine.sim.run(until=3000)          # warm-up: fills pool + caches
+    e0 = machine.sim.events_processed
+    tracemalloc.start()
+    try:
+        machine.sim.run()
+    finally:
+        net_growth, _peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+    events = machine.sim.events_processed - e0
+    assert events > 5000, "kernel too small to measure steady state"
+    per_event = net_growth / events
+    _RESULTS[f"alloc-{proto.value}"] = {
+        "events": events, "net_growth_bytes": net_growth,
+        "bytes_per_event": round(per_event, 3)}
+    assert per_event <= budget, (
+        f"steady-state allocations regressed: {per_event:.2f} B/event "
+        f"net growth exceeds the {budget} B/event budget "
+        f"(pool or calendar queue no longer recycling?)")
+    machine.finish()

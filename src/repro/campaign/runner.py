@@ -115,6 +115,14 @@ def _pool_execute(item):
     return index, execute_spec(spec, timeout_s)
 
 
+def _warm_worker() -> None:
+    """Worker-pool initializer: pay the workload-provider import cost
+    once per worker process instead of once per executed spec (matters
+    under the ``spawn`` start method, where workers begin with a bare
+    interpreter)."""
+    import repro.campaign.workloads  # noqa: F401
+
+
 @dataclass
 class CampaignReport:
     """What a campaign did: records in spec order, plus the tallies."""
@@ -157,6 +165,15 @@ class CampaignRunner:
     instead of hanging the whole sweep.  ``run(..., cancel=fn)`` polls
     ``fn()`` between executions; once it returns True the remaining
     unexecuted specs land as ``Cancelled`` records (never cached).
+
+    The worker pool is *warm*: it is created on the first parallel
+    :meth:`run` (each worker importing the workload providers once, via
+    the pool initializer) and then reused by every later ``run`` call,
+    so a multi-figure sweep pays the fork/spawn + import cost once
+    rather than once per figure.  A cancelled campaign terminates the
+    pool (abandoning still-running workers); the next ``run`` warms a
+    fresh one.  Call :meth:`close` (or use the runner as a context
+    manager) to release the workers explicitly.
     """
 
     def __init__(self, jobs: int = 1,
@@ -169,6 +186,41 @@ class CampaignRunner:
         self.jobs = jobs
         self.cache = cache
         self.spec_timeout_s = spec_timeout_s
+        self._pool = None
+
+    # ------------------------------------------------------------------
+    # warm worker pool lifecycle
+    # ------------------------------------------------------------------
+
+    def _get_pool(self):
+        """The persistent worker pool, creating it on first use."""
+        if self._pool is None:
+            methods = multiprocessing.get_all_start_methods()
+            ctx = multiprocessing.get_context(
+                "fork" if "fork" in methods else "spawn")
+            self._pool = ctx.Pool(processes=self.jobs,
+                                  initializer=_warm_worker)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the warm worker pool (idempotent).  Still-running
+        workers are terminated, not awaited."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+
+    def __enter__(self) -> "CampaignRunner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # best-effort cleanup
+        try:
+            self.close()
+        except Exception:
+            pass
 
     # ------------------------------------------------------------------
 
@@ -204,18 +256,27 @@ class CampaignRunner:
                     progress(i, specs[i], record)
 
         if self.jobs > 1 and len(todo) > 1:
-            methods = multiprocessing.get_all_start_methods()
-            ctx = multiprocessing.get_context(
-                "fork" if "fork" in methods else "spawn")
-            workers = min(self.jobs, len(todo))
-            with ctx.Pool(processes=workers) as pool:
-                # leaving the with-block terminates the pool, so a
-                # cancelled campaign abandons still-running workers
+            pool = self._get_pool()
+            # chunked dispatch: amortize one IPC round-trip over
+            # several specs while keeping enough chunks in flight to
+            # load every worker
+            chunk = max(1, len(todo) // (self.jobs * 4))
+            aborted = False
+            try:
                 for index, record in pool.imap_unordered(
-                        _pool_execute, todo):
+                        _pool_execute, todo, chunksize=chunk):
                     land(index, record)
                     if cancel is not None and cancel():
+                        aborted = True
                         break
+            except BaseException:
+                self.close()
+                raise
+            if aborted:
+                # terminate rather than drain: a cancelled campaign
+                # abandons still-running workers, and the next run()
+                # warms a fresh pool
+                self.close()
         else:
             for index, spec, timeout_s in todo:
                 if cancel is not None and cancel():

@@ -34,9 +34,9 @@ _PROTOCOL_FIELDS = frozenset({"protocol", "hybrid_default"})
 
 #: mixed into the source digest; bump on changes that the digest alone
 #: would miss (behaviour-preserving rewrites whose cached results should
-#: still be retired, e.g. the PR-3 hot-path overhaul or the PR-7
-#: array-native core)
-CODE_VERSION_EPOCH = 3
+#: still be retired, e.g. the PR-3 hot-path overhaul, the PR-7
+#: array-native core, or the PR-8 calendar queue + message pool)
+CODE_VERSION_EPOCH = 4
 
 _code_version_cache: str = ""
 

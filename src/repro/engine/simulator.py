@@ -1,22 +1,59 @@
 """The discrete-event simulation core.
 
-The simulator keeps a single global event queue ordered by (time, seq).
-``seq`` is a monotonically increasing tie-breaker, which makes runs fully
-deterministic: events scheduled for the same cycle fire in the order they
-were scheduled.
+The simulator dispatches events in (time, seq) order.  ``seq`` is the
+scheduling order within a cycle, which makes runs fully deterministic:
+events scheduled for the same cycle fire in the order they were
+scheduled.
 
 Components never advance time themselves; they schedule callbacks with
 :meth:`Simulator.schedule` (relative delay) or :meth:`Simulator.at`
-(absolute time).  This is the hot loop of the whole package, so the
-implementation stays deliberately small: events are plain tuples on a
-``heapq`` and callbacks are invoked with pre-bound arguments.
+(absolute time).  This is the hot loop of the whole package.
+
+Storage is a *calendar queue*: simulated delays are small bounded ints
+(NIC serialisation, hop latency, memory occupancy), so pending events
+live in a ring of per-cycle FIFO buckets indexed by ``when & (R - 1)``.
+Scheduling is two list appends -- no per-event tuple is allocated --
+and ``run()`` drains a whole bucket as a batch.  The rare event landing
+``R`` or more cycles out goes to a small overflow heap and is flushed
+into its bucket when the horizon advances past it.
+
+Ordering invariants (these make bucket FIFO order == ``(when, seq)``
+order, exactly matching the previous heapq implementation):
+
+* the ring holds events with ``when`` in ``[now, horizon)``; the
+  overflow heap holds ``when >= horizon``; ``horizon`` never decreases
+  and stays within ``R`` of the clock, so bucket indices are unambiguous;
+* an event is appended to a bucket only while ``when < horizon``, and
+  the overflow heap is flushed (in ``(when, seq)`` order) the moment
+  ``horizon`` rises past an event's cycle -- so within any bucket,
+  append order is scheduling order.
+
+:class:`ControlledSimulator` (model checking) keeps the explicit
+``(when, seq, fn, args)`` heap representation instead: it must expose
+same-cycle candidate *batches* as choice points, snapshot cheaply at
+every branch, and share event tuples between snapshots by reference.
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
+
+#: ring size in cycles; must be a power of two.  Delays in the modelled
+#: machine are tens of cycles, so virtually nothing overflows.
+_RING = 512
+_MASK = _RING - 1
+
+#: occupancy bitmask tables: bit ``i`` of ``Simulator._occ`` is set
+#: exactly when ring bucket ``i`` is non-empty.  ``_BIT[i]`` sets it,
+#: ``_CLR[i]`` clears it.  Because every pending in-horizon cycle
+#: ``t`` lies in ``[now, now + _RING)``, bucket index ``t & _MASK``
+#: identifies ``t`` uniquely, and the next occupied cycle is found in
+#: O(1) with one shift + least-set-bit on a 512-bit int -- no heap,
+#: no scan, no stale entries.
+_BIT = tuple(1 << i for i in range(_RING))
+_CLR = tuple(~(1 << i) for i in range(_RING))
 
 
 class SimulationError(RuntimeError):
@@ -60,14 +97,27 @@ class Simulator:
     ['b', 'a']
     >>> sim.now
     5
+
+    ``snapshot()``/``restore()`` may be called between :meth:`run`
+    calls, never from inside an executing event (use
+    :class:`ControlledSimulator` for that).
     """
 
-    __slots__ = ("now", "_queue", "_seq", "_running", "_stopped",
+    __slots__ = ("now", "_ring", "_occ", "_overflow",
+                 "_horizon", "_seq", "_running", "_stopped",
                  "_max_events", "events_processed")
 
     def __init__(self, max_events: Optional[int] = None) -> None:
         self.now: int = 0
-        self._queue: List[Tuple[int, int, Callable[..., Any], tuple]] = []
+        #: flat per-cycle buckets: [fn0, args0, fn1, args1, ...]
+        self._ring: List[list] = [[] for _ in range(_RING)]
+        #: ring-occupancy bitmask: bit ``i`` set iff ``_ring[i]`` is
+        #: non-empty (see ``_BIT``/``_CLR``).  Maintained by every
+        #: insert (empty -> non-empty) and every bucket drain.
+        self._occ: int = 0
+        #: far-future events, as (when, seq, fn, args) heap entries
+        self._overflow: List[Tuple[int, int, Callable[..., Any], tuple]] = []
+        self._horizon: int = _RING
         self._seq: int = 0
         self._running = False
         self._stopped = False
@@ -83,20 +133,88 @@ class Simulator:
         """Schedule ``fn(*args)`` to run ``delay`` cycles from now."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        self._seq += 1
-        heapq.heappush(self._queue, (self.now + delay, self._seq, fn, args))
+        when = self.now + delay
+        if when < self._horizon:
+            i = when & _MASK
+            b = self._ring[i]
+            if not b:
+                self._occ |= _BIT[i]
+            b.append(fn)
+            b.append(args)
+        else:
+            self._insert_far(when, fn, args)
 
     def at(self, when: int, fn: Callable[..., Any], *args: Any) -> None:
         """Schedule ``fn(*args)`` at absolute time ``when`` (>= now)."""
         if when < self.now:
             raise SimulationError(
                 f"cannot schedule in the past ({when} < {self.now})")
-        self._seq += 1
-        heapq.heappush(self._queue, (when, self._seq, fn, args))
+        if when < self._horizon:
+            i = when & _MASK
+            b = self._ring[i]
+            if not b:
+                self._occ |= _BIT[i]
+            b.append(fn)
+            b.append(args)
+        else:
+            self._insert_far(when, fn, args)
+
+    def _insert_far(self, when: int, fn: Callable[..., Any],
+                    args: tuple) -> None:
+        """Insert an event at or beyond the horizon: advance the
+        horizon if the ring can cover it, else park it in the overflow
+        heap."""
+        if when < self.now + _RING:
+            self._advance_horizon()
+            i = when & _MASK
+            b = self._ring[i]
+            if not b:
+                self._occ |= _BIT[i]
+            b.append(fn)
+            b.append(args)
+        else:
+            self._seq += 1
+            heapq.heappush(self._overflow, (when, self._seq, fn, args))
+
+    def _advance_horizon(self) -> None:
+        """Raise the horizon to ``now + R`` and flush newly-covered
+        overflow events into their buckets in (when, seq) order."""
+        new_h = self.now + _RING
+        overflow = self._overflow
+        if overflow:
+            ring = self._ring
+            pop = heapq.heappop
+            while overflow and overflow[0][0] < new_h:
+                when, _seq, fn, args = pop(overflow)
+                i = when & _MASK
+                b = ring[i]
+                if not b:
+                    self._occ |= _BIT[i]
+                b.append(fn)
+                b.append(args)
+        self._horizon = new_h
 
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
+
+    def _next_time(self) -> Optional[int]:
+        """Cycle of the next pending event, or None if idle.
+
+        Pure occupancy-mask arithmetic: bits at index >= ``now & _MASK``
+        are cycles in the current ring lap, lower bits are cycles that
+        wrapped past the lap boundary (and therefore come later)."""
+        occ = self._occ
+        if occ:
+            now = self.now
+            idx = now & _MASK
+            x = occ >> idx
+            if x:
+                return now + ((x & -x).bit_length() - 1)
+            return now + _RING - idx + ((occ & -occ).bit_length() - 1)
+        if self._overflow:
+            return self._overflow[0][0]
+        return None
 
     def run(self, until: Optional[int] = None) -> None:
         """Drain the event queue, optionally stopping at time ``until``.
@@ -109,30 +227,108 @@ class Simulator:
             raise SimulationError("run() is not reentrant")
         self._running = True
         self._stopped = False
-        queue = self._queue
-        pop = heapq.heappop
-        limit = self._max_events
+        ring = self._ring
+        overflow = self._overflow
         try:
-            if until is None and limit is None:
-                # the common case: no horizon, no livelock budget --
-                # nothing but pop / advance / dispatch per event
-                while queue:
-                    when, _seq, fn, args = pop(queue)
-                    self.now = when
-                    self.events_processed += 1
-                    fn(*args)
-                    if self._stopped:
-                        return
-                return
-            while queue and not self._stopped:
-                if until is not None and queue[0][0] > until:
-                    # peek, don't pop: same-cycle seq order is untouched
+            if until is None and self._max_events is None:
+                # the common case: no horizon, no livelock budget.
+                # Find the next occupied cycle straight from the
+                # occupancy mask and drain its bucket.  The bucket is
+                # emptied (and its bit cleared) *before* dispatch, so a
+                # handler scheduling into the current cycle re-occupies
+                # it through the ordinary schedule() path and the mask
+                # re-finds it at the same ``now`` -- after the current
+                # batch, i.e. still in scheduling order.
+                done = 0
+                try:
+                    while True:
+                        occ = self._occ
+                        if not occ:
+                            if overflow:
+                                self.now = overflow[0][0]
+                                self._advance_horizon()
+                                continue
+                            return
+                        idx = self.now & _MASK
+                        x = occ >> idx
+                        if x:
+                            off = (x & -x).bit_length() - 1
+                            t = self.now + off
+                            bi = (idx + off) & _MASK
+                        else:
+                            bi = (occ & -occ).bit_length() - 1
+                            t = self.now + _RING - idx + bi
+                        b = ring[bi]
+                        self._occ = occ & _CLR[bi]
+                        self.now = t
+                        if len(b) == 2:         # singleton bucket
+                            fn, args = b
+                            b.clear()
+                            done += 1
+                            fn(*args)
+                            if self._stopped:
+                                return
+                            continue
+                        batch = b[:]
+                        b.clear()
+                        i = 0
+                        n = len(batch)
+                        while i < n:
+                            fn = batch[i]
+                            args = batch[i + 1]
+                            i += 2
+                            done += 1
+                            fn(*args)
+                            if self._stopped:
+                                rest = batch[i:]
+                                if rest:
+                                    # t == now: the mask re-finds the
+                                    # bucket on resume
+                                    b[0:0] = rest   # ahead of new arrivals
+                                    self._occ |= _BIT[bi]
+                                return
+                finally:
+                    self.events_processed += done
+            # bounded path: a time horizon and/or livelock budget
+            limit = self._max_events
+            while not self._stopped:
+                t = self._next_time()
+                if t is None:
+                    return
+                if until is not None and t > until:
+                    # never dispatched: same-cycle seq order untouched
                     self.now = until
                     return
-                when, _seq, fn, args = pop(queue)
-                self.now = when
-                self._count_event()
-                fn(*args)
+                self.now = t
+                if t >= self._horizon:
+                    self._advance_horizon()
+                bi = t & _MASK
+                b = ring[bi]
+                batch = b[:]
+                b.clear()
+                self._occ &= _CLR[bi]
+                i = 0
+                n = len(batch)
+                try:
+                    while i < n:
+                        fn = batch[i]
+                        args = batch[i + 1]
+                        i += 2
+                        self.events_processed += 1
+                        if (limit is not None
+                                and self.events_processed > limit):
+                            raise SimulationError(
+                                f"exceeded max_events={limit}; "
+                                "likely livelock")
+                        fn(*args)
+                        if self._stopped:
+                            break
+                finally:
+                    rest = batch[i:]
+                    if rest:
+                        # t == now: the mask re-finds it on resume
+                        b[0:0] = rest       # ahead of new arrivals
+                        self._occ |= _BIT[bi]
         finally:
             self._running = False
 
@@ -155,10 +351,21 @@ class Simulator:
         or the simulator has been stopped.  Enforces the same
         ``max_events`` livelock safety valve as :meth:`run`.
         """
-        if self._stopped or not self._queue:
+        if self._stopped:
             return False
-        when, _seq, fn, args = heapq.heappop(self._queue)
-        self.now = when
+        t = self._next_time()
+        if t is None:
+            return False
+        self.now = t
+        if t >= self._horizon:
+            self._advance_horizon()
+        bi = t & _MASK
+        b = self._ring[bi]
+        fn = b[0]
+        args = b[1]
+        del b[:2]
+        if not b:
+            self._occ &= _CLR[bi]
         self._count_event()
         fn(*args)
         return True
@@ -168,21 +375,31 @@ class Simulator:
     # ------------------------------------------------------------------
 
     def snapshot(self):
-        """O(pending events) copy of the simulator's state.  Event
-        tuples are immutable and shared with the snapshot; their bound
+        """O(pending events) copy of the simulator's state.  Callback
+        and argument references are shared with the snapshot; the bound
         arguments are component objects the caller is responsible for
         restoring in place."""
-        return (self.now, self._seq, list(self._queue),
-                self.events_processed, self._stopped)
+        buckets = [(i, b[:]) for i, b in enumerate(self._ring) if b]
+        return (self.now, self._seq, self.events_processed,
+                self._stopped, self._horizon,
+                buckets, self._overflow[:], self._occ)
 
     def restore(self, snap) -> None:
-        now, seq, queue, events_processed, stopped = snap
+        (now, seq, events_processed, stopped, horizon,
+         buckets, overflow, occ) = snap
         self.now = now
         self._seq = seq
-        # the snapshot list was copied from a valid heap, so it is one
-        self._queue[:] = queue
         self.events_processed = events_processed
         self._stopped = stopped
+        self._horizon = horizon
+        ring = self._ring
+        for b in ring:
+            if b:
+                del b[:]
+        for i, items in buckets:
+            ring[i][:] = items
+        self._overflow[:] = overflow
+        self._occ = occ
 
     # ------------------------------------------------------------------
     # introspection
@@ -190,11 +407,32 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        return len(self._queue)
+        return (sum(map(len, self._ring)) >> 1) + len(self._overflow)
 
     def peek_time(self) -> Optional[int]:
         """Time of the next event, or None if the queue is empty."""
-        return self._queue[0][0] if self._queue else None
+        return self._next_time()
+
+    def iter_pending(self) -> Iterator[Tuple[int, int, Callable[..., Any],
+                                             tuple]]:
+        """Yield every pending event as ``(when, seq, fn, args)``.
+
+        The public view of the queue: iteration order is unspecified,
+        but sorting the yielded tuples by ``(when, seq)`` gives exact
+        dispatch order.  Ring events carry a synthetic per-call ``seq``
+        (their relative order is what is meaningful); overflow events
+        keep their real one, and since every overflow ``when`` exceeds
+        every ring ``when`` the combined sort order is still exact.
+        """
+        ring = self._ring
+        seq = 0
+        for t in range(self.now, self._horizon):
+            b = ring[t & _MASK]
+            for j in range(0, len(b), 2):
+                seq += 1
+                yield (t, seq, b[j], b[j + 1])
+        for when, real_seq, fn, args in sorted(self._overflow):
+            yield (when, real_seq, fn, args)
 
 
 class ControlledSimulator(Simulator):
@@ -214,9 +452,17 @@ class ControlledSimulator(Simulator):
     answers 0) reproduces the stock simulator exactly.  Every decision
     is appended to ``choice_log`` as ``(n_candidates, chosen_index)``,
     which is precisely the schedule the model checker replays.
+
+    Unlike the base class, storage here *is* an explicit
+    ``(when, seq, fn, args)`` heap: the model checker needs cheap
+    snapshots at every branch point and same-cycle candidate batches as
+    first-class values.  It manipulates them only through the public
+    API -- :meth:`pop_ready_batch`, :meth:`push_events`,
+    :meth:`pending_snapshot` and :meth:`step` -- so the two queue
+    representations can evolve independently.
     """
 
-    __slots__ = ("chooser", "choice_log")
+    __slots__ = ("chooser", "choice_log", "_queue")
 
     def __init__(self, chooser: Optional[
             Callable[[List[tuple]], int]] = None,
@@ -224,14 +470,57 @@ class ControlledSimulator(Simulator):
         super().__init__(max_events=max_events)
         self.chooser = chooser
         self.choice_log: List[Tuple[int, int]] = []
+        self._queue: List[Tuple[int, int, Callable[..., Any], tuple]] = []
 
-    def _pop_controlled(self) -> tuple:
-        """Pop the next event, consulting the chooser on a tie."""
+    # -- scheduling (heap representation) ------------------------------
+
+    def schedule(self, delay: int, fn: Callable[..., Any], *args: Any) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self._seq += 1
+        heapq.heappush(self._queue, (self.now + delay, self._seq, fn, args))
+
+    def at(self, when: int, fn: Callable[..., Any], *args: Any) -> None:
+        if when < self.now:
+            raise SimulationError(
+                f"cannot schedule in the past ({when} < {self.now})")
+        self._seq += 1
+        heapq.heappush(self._queue, (when, self._seq, fn, args))
+
+    # -- public batch API (used by the model checker) ------------------
+
+    def pop_ready_batch(self) -> List[tuple]:
+        """Pop and return every event ready at the minimum pending
+        time, in ``seq`` (i.e. scheduling) order.  The returned tuples
+        are exactly what :meth:`push_events` accepts back."""
         queue = self._queue
         when = queue[0][0]
         batch = [heapq.heappop(queue)]
         while queue and queue[0][0] == when:
             batch.append(heapq.heappop(queue))
+        return batch
+
+    def push_events(self, events: Sequence[tuple]) -> None:
+        """Return event tuples (from :meth:`pop_ready_batch` or a
+        :meth:`pending_snapshot`) to the queue, preserving their
+        recorded ``(when, seq)`` keys."""
+        queue = self._queue
+        for ev in events:
+            heapq.heappush(queue, ev)
+
+    def pending_snapshot(self) -> List[tuple]:
+        """The pending ``(when, seq, fn, args)`` tuples as a list (heap
+        order -- sort by ``(when, seq)`` for dispatch order).  Shares
+        the immutable event tuples, not the queue itself."""
+        return list(self._queue)
+
+    def iter_pending(self) -> Iterator[Tuple[int, int, Callable[..., Any],
+                                             tuple]]:
+        return iter(self._queue)   # heap order; keys are exact
+
+    def _pop_controlled(self) -> tuple:
+        """Pop the next event, consulting the chooser on a tie."""
+        batch = self.pop_ready_batch()
         if len(batch) == 1:
             return batch[0]
         idx = 0 if self.chooser is None else self.chooser(batch)
@@ -240,9 +529,10 @@ class ControlledSimulator(Simulator):
                 f"chooser returned {idx} for {len(batch)} candidates")
         self.choice_log.append((len(batch), idx))
         chosen = batch.pop(idx)
-        for event in batch:
-            heapq.heappush(queue, event)
+        self.push_events(batch)
         return chosen
+
+    # -- execution -----------------------------------------------------
 
     def run(self, until: Optional[int] = None) -> None:
         if self._running:
@@ -261,19 +551,42 @@ class ControlledSimulator(Simulator):
         finally:
             self._running = False
 
-    def step(self) -> bool:
+    def step(self, on_event: Optional[Callable] = None) -> bool:
+        """Process a single event.  ``on_event(when, fn, args)`` runs
+        after the choice is made but before the event executes (replay
+        traces print the event first, so the violating transition is
+        the last line of the trace)."""
         if self._stopped or not self._queue:
             return False
         when, _seq, fn, args = self._pop_controlled()
         self.now = when
         self._count_event()
+        if on_event is not None:
+            on_event(when, fn, args)
         fn(*args)
         return True
 
+    # -- snapshot / introspection --------------------------------------
+
     def snapshot(self):
-        return (super().snapshot(), list(self.choice_log))
+        # event tuples are immutable and shared with the snapshot
+        return (self.now, self._seq, list(self._queue),
+                self.events_processed, self._stopped,
+                list(self.choice_log))
 
     def restore(self, snap) -> None:
-        base, choice_log = snap
-        super().restore(base)
+        now, seq, queue, events_processed, stopped, choice_log = snap
+        self.now = now
+        self._seq = seq
+        # the snapshot list was copied from a valid heap, so it is one
+        self._queue[:] = queue
+        self.events_processed = events_processed
+        self._stopped = stopped
         self.choice_log[:] = choice_log
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)
+
+    def peek_time(self) -> Optional[int]:
+        return self._queue[0][0] if self._queue else None

@@ -156,21 +156,23 @@ def main(argv: List[str] = None) -> int:
                                  else args.cache_dir),
                    "figures": {}}
 
-    if args.profile:
-        if args.jobs > 1:
-            print("--profile only sees this process; worker "
-                  "simulations under --jobs > 1 are not profiled",
-                  file=sys.stderr)
-        import cProfile
-        profiler = cProfile.Profile()
-        profiler.enable()
-        try:
-            rc = _run_figures(args, wanted, scale, runner, bench)
-        finally:
-            profiler.disable()
-            _write_profile(profiler, args.profile, quiet=args.quiet)
-        return rc
-    return _run_figures(args, wanted, scale, runner, bench)
+    with runner:       # releases the warm worker pool on the way out
+        if args.profile:
+            if args.jobs > 1:
+                print("--profile only sees this process; worker "
+                      "simulations under --jobs > 1 are not profiled",
+                      file=sys.stderr)
+            import cProfile
+            profiler = cProfile.Profile()
+            profiler.enable()
+            try:
+                rc = _run_figures(args, wanted, scale, runner, bench)
+            finally:
+                profiler.disable()
+                _write_profile(profiler, args.profile, quiet=args.quiet)
+                _print_pool_stats()
+            return rc
+        return _run_figures(args, wanted, scale, runner, bench)
 
 
 def _write_profile(profiler, prefix: str, quiet: bool = False) -> None:
@@ -187,6 +189,17 @@ def _write_profile(profiler, prefix: str, quiet: bool = False) -> None:
     if not quiet:
         print(f"  [wrote {prefix}.pstats and {prefix}.txt]",
               file=sys.stderr)
+
+
+def _print_pool_stats() -> None:
+    """Report the process-wide message-pool tallies (``--profile``)."""
+    from repro.network.messages import POOL_TOTALS
+
+    print(f"  [message pool: {POOL_TOTALS['reused']} reused, "
+          f"{POOL_TOTALS['released']} released, "
+          f"{POOL_TOTALS['dropped_frozen']} dropped after freeze, "
+          f"over {POOL_TOTALS['machines']} machine(s)]",
+          file=sys.stderr)
 
 
 def _run_figures(args, wanted, scale, runner, bench) -> int:

@@ -46,7 +46,7 @@ the simplification).
 
 from __future__ import annotations
 
-import heapq
+
 from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
@@ -108,22 +108,6 @@ def _build(litmus: LitmusProgram, config, max_events: int):
     return machine, built, histories, syms
 
 
-def _step(sim: ControlledSimulator,
-          on_event: Optional[Callable] = None) -> bool:
-    """One event, with an optional pre-execution hook (replay traces
-    print the event before it runs, so the violating transition is the
-    last line of the trace)."""
-    if sim._stopped or not sim._queue:
-        return False
-    when, _seq, fn, args = sim._pop_controlled()
-    sim.now = when
-    sim._count_event()
-    if on_event is not None:
-        on_event(when, fn, args)
-    fn(*args)
-    return True
-
-
 def _run(machine, built, histories, syms,
          prefix: Tuple[int, ...],
          visited: Optional[set],
@@ -150,7 +134,7 @@ def _run(machine, built, histories, syms,
             choice = 0
             if visited is not None:
                 key = canonical_key(
-                    machine, list(sim._queue) + batch, syms, histories)
+                    machine, sim.pending_snapshot() + batch, syms, histories)
                 if key is None:
                     stats["unhashed"] += 1
                 elif pos > len(prefix):
@@ -171,7 +155,7 @@ def _run(machine, built, histories, syms,
     pruned_at: Optional[int] = None
     try:
         machine.prepare()
-        while _step(sim, on_event):
+        while sim.step(on_event):
             report = machine.checker_report
             if report is not None and report.violations:
                 v = report.violations[0]
@@ -327,7 +311,7 @@ def explore(litmus: LitmusProgram,
                 return forced
             if visited is not None:
                 key = canonical_key(
-                    machine, list(sim._queue) + batch, syms, histories)
+                    machine, sim.pending_snapshot() + batch, syms, histories)
                 if key is None:
                     stats["unhashed"] += 1
                 elif run["fresh"]:
@@ -358,8 +342,7 @@ def explore(litmus: LitmusProgram,
             else:
                 (snap, batch), picks = branch
                 machine.restore(snap)
-                for ev in batch:
-                    heapq.heappush(sim._queue, ev)
+                sim.push_events(batch)
                 run["choices"] = list(picks[:-1])
                 run["forced"] = picks[-1]
                 run["fresh"] = True
@@ -369,7 +352,7 @@ def explore(litmus: LitmusProgram,
             try:
                 if branch is None:
                     machine.prepare()
-                while _step(sim):
+                while sim.step():
                     report = machine.checker_report
                     if report is not None and report.violations:
                         v = report.violations[0]

@@ -19,13 +19,27 @@ Node-local transactions (a processor talking to its own home memory) do
 not traverse the network; they are delivered after a small fixed
 ``local_hop_cycles`` delay.
 
-Performance note: :meth:`Network.send` runs once per message and the
-simulator creates millions of them, so everything derivable from the
-config alone -- per-:class:`MsgType` sizes and flit counts, the
-all-pairs hop table -- is precomputed at construction, and the traffic
-statistics accumulate into plain ints / flat lists.  ``Network.stats``
-materializes the familiar :class:`NetworkStats` snapshot (identical
-shapes to the historical dict-based accumulation) on access.
+Performance notes: :meth:`Network.post` runs once per message and the
+simulator creates millions of them, so the steady-state path is
+allocation-free and flat:
+
+* messages come from a per-:class:`~repro.network.messages.MsgType`
+  free list (:class:`~repro.network.messages.MessagePool`) and are
+  recycled after their handler returns (see
+  :class:`~repro.protocols.base.NodeCtrl`);
+* everything derivable from the config alone -- per-type sizes and flit
+  counts, the all-pairs hop table -- is precomputed at construction;
+* only three traffic counters are touched per message
+  (``_type_counts``, ``_pair_counts``, ``_n_contention``); totals,
+  byte counts and per-node send/receive counts are *derived* from them
+  by the ``stats`` property (sizes are a pure function of the type, and
+  the pair matrix's row/column/diagonal sums are the per-node and local
+  counts);
+* under a plain :class:`~repro.engine.Simulator` the delivery event is
+  appended straight into the simulator's calendar bucket, skipping the
+  ``sim.at`` call (the model checker's :class:`ControlledSimulator`
+  keeps the public path -- and disables pooling, since its snapshots
+  share message objects across branches).
 """
 
 from __future__ import annotations
@@ -36,7 +50,10 @@ from typing import Callable, Dict, List, Optional
 
 from repro.config import MachineConfig
 from repro.engine import Simulator
-from repro.network.messages import MSG_TYPES, Message, MsgType
+from repro.engine.simulator import _BIT, _MASK
+from repro.network.messages import (
+    MSG_TYPES, Message, MessagePool, MsgType,
+)
 from repro.network.topology import MeshTopology
 
 
@@ -109,17 +126,21 @@ class Network:
         self._local_hop = config.local_hop_cycles
         self._switch_delay = config.switch_delay_cycles
         self._jitter_cycles = config.network_jitter_cycles
-        # --- traffic accumulators (plain ints / flat lists; folded
-        # --- into a NetworkStats snapshot by the ``stats`` property) ---
-        self._n_messages = 0
-        self._n_bytes = 0
-        self._n_local = 0
-        self._n_contention = 0
+        # --- traffic accumulators (three live counters; everything
+        # --- else is derived by the ``stats`` property) ----------------
         self._type_counts = [0] * len(MSG_TYPES)
-        self._type_bytes = [0] * len(MSG_TYPES)
         self._pair_counts = [0] * (P * P)
-        self._sent_counts = [0] * P
-        self._recv_counts = [0] * P
+        self._n_contention = 0
+        # --- message pool / fast scheduling ----------------------------
+        #: pooled + calendar-inlined only under a plain Simulator: the
+        #: model checker snapshots share event tuples and message
+        #: objects between branches, so its messages must stay immutable
+        #: and its queue is the explicit heap behind the public API
+        self._plain_sim = type(sim) is Simulator
+        self.pool = MessagePool(debug=getattr(config, "pool_debug", False))
+        self._pool_free = self.pool.free
+        #: post()'s one-test pooling gate; cleared by freeze_pool()
+        self._pool_on = self._plain_sim
 
     def register(self, node: int, handler: Callable[[Message], None],
                  dispatch: Optional[List[
@@ -140,6 +161,17 @@ class Network:
         self._dispatch[node] = dispatch
 
     # ------------------------------------------------------------------
+
+    @property
+    def pooling_active(self) -> bool:
+        """True when messages posted by this fabric are recycled."""
+        return self._pool_on and not self.pool.frozen
+
+    def freeze_pool(self) -> None:
+        """Permanently stop message recycling (machine snapshot taken:
+        snapshots share message objects by reference)."""
+        self.pool.freeze()
+        self._pool_on = False
 
     def size_of_type(self, mtype: MsgType) -> int:
         cfg = self.config
@@ -170,41 +202,91 @@ class Network:
     def stats(self) -> NetworkStats:
         """The traffic statistics, materialized as a snapshot.
 
+        Totals, byte counts and per-node counts are derived from the
+        per-type and per-pair counters: a message's size is a pure
+        function of its type, and the pair matrix's row sums / column
+        sums / diagonal are exactly the sent / received / local counts.
         Dict shapes match the historical accumulation: only observed
         types / pairs / nodes appear as keys.
         """
+        P = self._num_nodes
+        pair_counts = self._pair_counts
+        type_counts = self._type_counts
+        sizes = self._size_table
+        sent = [0] * P
+        recv = [0] * P
+        local = 0
+        for i, n in enumerate(pair_counts):
+            if n:
+                src, dst = divmod(i, P)
+                sent[src] += n
+                recv[dst] += n
+                if src == dst:
+                    local += n
         return NetworkStats(
-            messages=self._n_messages,
-            bytes=self._n_bytes,
-            local_messages=self._n_local,
-            by_type={mt: n for mt, n in zip(MSG_TYPES, self._type_counts)
+            messages=sum(type_counts),
+            bytes=sum(n * sz for n, sz in zip(type_counts, sizes)),
+            local_messages=local,
+            by_type={mt: n for mt, n in zip(MSG_TYPES, type_counts)
                      if n},
-            bytes_by_type={mt: b for mt, b
-                           in zip(MSG_TYPES, self._type_bytes) if b},
-            by_pair={(i // self.config.num_procs,
-                      i % self.config.num_procs): n
-                     for i, n in enumerate(self._pair_counts) if n},
-            sent_by_node={node: n for node, n
-                          in enumerate(self._sent_counts) if n},
-            recv_by_node={node: n for node, n
-                          in enumerate(self._recv_counts) if n},
+            bytes_by_type={mt: n * sz for mt, n, sz
+                           in zip(MSG_TYPES, type_counts, sizes) if n},
+            by_pair={divmod(i, P): n
+                     for i, n in enumerate(pair_counts) if n},
+            sent_by_node={node: n for node, n in enumerate(sent) if n},
+            recv_by_node={node: n for node, n in enumerate(recv) if n},
             contention_cycles=self._n_contention,
         )
 
     # ------------------------------------------------------------------
 
-    def send(self, msg: Message) -> None:
-        """Inject ``msg``; it is handed to the destination handler when
-        fully delivered."""
+    def post(self, mtype: MsgType, src: int, dst: int, block: int,
+             requester: int = -1, word: Optional[int] = None,
+             value=None, data: Optional[dict] = None, nacks: int = 0,
+             seq: int = -1, op: Optional[str] = None, operand=None,
+             result=None, retain: bool = False,
+             write_id: Optional[int] = None,
+             mask: Optional[int] = None) -> None:
+        """Build (or recycle) a message and inject it.
+
+        The production send path: protocol controllers route every
+        message through here.  Mirrors :meth:`send`'s latency model
+        exactly; the difference is the pooled acquire and the inlined
+        delivery scheduling.
+        """
+        ti = mtype.index
+        free = self._pool_free[ti]
+        if free and self._pool_on:
+            msg = free.pop()
+            msg.in_pool = False
+            msg.keep = False
+            msg.mtype = mtype       # identity under non-debug (per-type
+            msg.src = src           # lists); un-poisons under debug
+            msg.dst = dst
+            msg.block = block
+            msg.requester = requester
+            msg.word = word
+            msg.value = value
+            msg.data = data
+            msg.nacks = nacks
+            msg.seq = seq
+            msg.op = op
+            msg.operand = operand
+            msg.result = result
+            msg.retain = retain
+            msg.write_id = write_id
+            msg.mask = mask
+            self.pool.reused += 1
+        else:
+            msg = Message(mtype, src, dst, block, requester=requester,
+                          word=word, value=value, data=data, nacks=nacks,
+                          seq=seq, op=op, operand=operand, result=result,
+                          retain=retain, write_id=write_id, mask=mask)
+            msg.size = self._size_table[ti]
+
         sim = self.sim
         now = sim.now
-        src = msg.src
-        dst = msg.dst
-        ti = msg.mtype.index
-        size = self._size_table[ti]
         flits = self._flits_table[ti]
-        msg.size = size
-        msg.send_time = now
 
         depart = self._src_free[src]
         if depart < now:
@@ -216,7 +298,6 @@ class Network:
             # still serializes through the node's NIC/bus, so a burst of
             # outgoing messages (e.g. an update fan-out) delays it
             deliver = depart + flits + self._local_hop
-            self._n_local += 1
             queued = depart - now
         else:
             head_arrival = (depart + flits
@@ -233,13 +314,64 @@ class Network:
             queued = depart - now + (dst_free - head_arrival
                                      if head_arrival < dst_free else 0)
 
-        self._n_messages += 1
-        self._n_bytes += size
         self._type_counts[ti] += 1
-        self._type_bytes[ti] += size
         self._pair_counts[src * self._num_nodes + dst] += 1
-        self._sent_counts[src] += 1
-        self._recv_counts[dst] += 1
+        self._n_contention += queued
+
+        target = None
+        dtable = self._dispatch[dst]
+        if dtable is not None:
+            target = dtable[ti]
+        if target is None:
+            target = self._deliver
+        if self._plain_sim and deliver < sim._horizon:
+            # inline Simulator.at: append into the calendar bucket
+            i = deliver & _MASK
+            b = sim._ring[i]
+            if not b:
+                sim._occ |= _BIT[i]
+            b.append(target)
+            b.append((msg,))
+        else:
+            sim.at(deliver, target, msg)
+
+    def send(self, msg: Message) -> None:
+        """Inject a caller-built ``msg`` (tests / ad-hoc traffic); it is
+        handed to the destination handler when fully delivered.  Same
+        latency model as :meth:`post`, without pooling."""
+        sim = self.sim
+        now = sim.now
+        src = msg.src
+        dst = msg.dst
+        ti = msg.mtype.index
+        size = self._size_table[ti]
+        flits = self._flits_table[ti]
+        msg.size = size
+        msg.send_time = now
+
+        depart = self._src_free[src]
+        if depart < now:
+            depart = now
+        self._src_free[src] = depart + flits
+
+        if src == dst:
+            deliver = depart + flits + self._local_hop
+            queued = depart - now
+        else:
+            head_arrival = (depart + flits
+                            + self._switch_delay * self._hops[src][dst])
+            if self._jitter_rng is not None:
+                head_arrival += self._jitter_rng.randint(
+                    0, self._jitter_cycles)
+            dst_free = self._dst_free[dst]
+            deliver = (dst_free if dst_free > head_arrival
+                       else head_arrival) + flits
+            self._dst_free[dst] = deliver
+            queued = depart - now + (dst_free - head_arrival
+                                     if head_arrival < dst_free else 0)
+
+        self._type_counts[ti] += 1
+        self._pair_counts[src * self._num_nodes + dst] += 1
         self._n_contention += queued
         dtable = self._dispatch[dst]
         if dtable is not None:
@@ -255,6 +387,13 @@ class Network:
             raise RuntimeError(f"no handler registered for node {msg.dst}")
         handler(msg)
 
+    def release(self, msg: Message) -> None:
+        """Recycle a message whose lifetime has ended (delivery wrapper
+        / end of a pinned home transaction).  No-op when pooling is
+        inactive (model checker, frozen pool)."""
+        if self._plain_sim:
+            self.pool.release(msg)
+
     # ------------------------------------------------------------------
     # snapshot / restore
     # ------------------------------------------------------------------
@@ -263,26 +402,21 @@ class Network:
         return (
             self._src_free[:], self._dst_free[:],
             self._jitter_rng.getstate() if self._jitter_rng else None,
-            self._n_messages, self._n_bytes, self._n_local,
-            self._n_contention, self._type_counts[:],
-            self._type_bytes[:], self._pair_counts[:],
-            self._sent_counts[:], self._recv_counts[:],
+            self._type_counts[:], self._pair_counts[:],
+            self._n_contention,
         )
 
     def restore_state(self, snap) -> None:
-        (src_free, dst_free, rng_state, n_messages, n_bytes, n_local,
-         n_contention, type_counts, type_bytes, pair_counts,
-         sent_counts, recv_counts) = snap
+        (src_free, dst_free, rng_state, type_counts, pair_counts,
+         n_contention) = snap
         self._src_free[:] = src_free
         self._dst_free[:] = dst_free
         if rng_state is not None:
             self._jitter_rng.setstate(rng_state)
-        self._n_messages = n_messages
-        self._n_bytes = n_bytes
-        self._n_local = n_local
-        self._n_contention = n_contention
         self._type_counts[:] = type_counts
-        self._type_bytes[:] = type_bytes
         self._pair_counts[:] = pair_counts
-        self._sent_counts[:] = sent_counts
-        self._recv_counts[:] = recv_counts
+        self._n_contention = n_contention
+        # pooled free lists are not part of the snapshot: drop them so
+        # a restored run can never hand out a message object that some
+        # pre-snapshot event or transaction still references
+        self.pool.drain()

@@ -178,6 +178,12 @@ class NodeCtrl:
         for s in self.READABLE_STATES:
             self._readable_mask |= 1 << s.code
 
+        #: address-split scalars hoisted out of the per-access path
+        #: (None when the block size is not a power of two)
+        self._block_shift = cfg._block_shift
+        self._word_mask = cfg._word_mask
+        self._num_procs = cfg.num_procs
+
         self._handlers = self._build_handlers()
         # Direct dispatch: the fabric delivers straight into the handler,
         # skipping receive()'s per-message indirection.  Disabled when
@@ -186,8 +192,48 @@ class NodeCtrl:
         # in-flight messages by the Network._deliver callback.
         direct = (not self.tracer.enabled
                   and not isinstance(self.sim, ControlledSimulator))
+        if direct and self.net.pooling_active:
+            # pooled delivery: recycle each message once its handler
+            # returns, unless the handler pinned it (``msg.keep``, set
+            # by _begin_txn for home transactions -- those are released
+            # by _end_txn instead).  The release is inlined rather than
+            # a MessagePool.release call: it runs once per delivered
+            # message, and the call overhead alone is measurable.
+            pool = self.net.pool
+
+            if pool.debug:
+                def wrap(handler, _r=pool.release):
+                    def deliver(msg, _h=handler, _r=_r):
+                        _h(msg)
+                        if not msg.keep:
+                            _r(msg)
+                    return deliver
+            else:
+                def wrap(handler, _pool=pool, _free=pool.free):
+                    def deliver(msg, _h=handler, _pool=_pool,
+                                _free=_free):
+                        _h(msg)
+                        if msg.keep or _pool.frozen:
+                            return
+                        if msg.in_pool:
+                            raise RuntimeError(
+                                f"double release of pooled message "
+                                f"mid={msg.mid}")
+                        msg.in_pool = True
+                        msg.value = None
+                        msg.data = None
+                        msg.operand = None
+                        msg.result = None
+                        _pool.released += 1
+                        _free[msg.ti].append(msg)
+                    return deliver
+
+            dispatch = [wrap(h) if h is not None else None
+                        for h in self._handlers]
+        else:
+            dispatch = self._handlers
         self.net.register(node, self.receive,
-                          self._handlers if direct else None)
+                          dispatch if direct else None)
 
     # ------------------------------------------------------------------
     # subclass wiring
@@ -232,10 +278,20 @@ class NodeCtrl:
     # ------------------------------------------------------------------
 
     def home_of(self, block: int) -> int:
-        return self.config.home_of_block(block)
+        return block % self._num_procs
 
-    def _send(self, mtype: MsgType, dst: int, block: int, **kw: Any) -> None:
-        self.net.send(Message(mtype, self.node, dst, block, **kw))
+    def _send(self, mtype: MsgType, dst: int, block: int,
+              requester: int = -1, word: Optional[int] = None,
+              value: Any = None, data: Optional[dict] = None,
+              nacks: int = 0, seq: int = -1, op: Optional[str] = None,
+              operand: Any = None, result: Any = None,
+              retain: bool = False, write_id: Optional[int] = None,
+              mask: Optional[int] = None) -> None:
+        # explicit parameters (no **kw dict) feeding the fabric's
+        # pooled fast path positionally
+        self.net.post(mtype, self.node, dst, block, requester, word,
+                      value, data, nacks, seq, op, operand, result,
+                      retain, write_id, mask)
 
     def _ref(self, block: int, word: int) -> None:
         """Record a shared reference for both classifiers and reset the
@@ -285,20 +341,41 @@ class NodeCtrl:
         return True, value
 
     def read(self, addr: int, cb: Callable[[Any], None]) -> None:
-        cfg = self.config
-        word = cfg.word_of(addr)
-        block = cfg.block_of(addr)
-        self._ref(block, word)
+        shift = self._block_shift
+        if shift is not None:
+            block = addr >> shift
+            word = addr & self._word_mask
+        else:
+            cfg = self.config
+            word = cfg.word_of(addr)
+            block = cfg.block_of(addr)
+        # fused fast path: one cache probe serves both the classifier
+        # bookkeeping (_ref) and the hit test.  Equivalent to
+        # _ref + local_view because with no buffered write to ``word``
+        # the locally visible value *is* the cached word.
+        self.miss_cls.record_reference(self.node, block, word)
+        self.upd_cls.record_reference(self.node, block, word)
+        line = self.cache.lookup(block)
+        if line is not None:
+            line.update_count = 0
+            if (self._readable_mask >> line.state_code & 1
+                    and not self.wb.writes_to(word)):
+                value = line.data.get(word, 0)
+                if self.san is not None:
+                    # nothing of ours is buffered: the value read is a
+                    # coherent copy and must come from the golden history
+                    self.san.check_read(self.node, block, word, value,
+                                        state=line.state.value)
+                self.sim.schedule(1, cb, value)
+                return
 
         hit, value = self.local_view(block, word)
         if hit:
             if self.san is not None and not self.wb.writes_to(word):
-                # nothing of ours is buffered: the value read is a
-                # coherent copy and must come from the golden history
-                line = self.cache.peek(block)
+                ln = self.cache.peek(block)
                 self.san.check_read(
                     self.node, block, word, value,
-                    state=line.state.value if line is not None else "")
+                    state=ln.state.value if ln is not None else "")
             self.sim.schedule(1, cb, value)
             return
 
@@ -510,14 +587,22 @@ class NodeCtrl:
                    body: Callable[[Message], None]) -> None:
         """Acquire the block's directory entry, remember the transaction
         (for writeback-race re-dispatch) and run its body."""
+        # pin before acquire: a queued start keeps a reference to msg
+        # past the delivery wrapper's release point
+        msg.keep = True
+
         def start() -> None:
             self._txn[msg.block] = (body, msg)
             body(msg)
         self.directory.acquire(msg.block, start)
 
     def _end_txn(self, block: int) -> None:
-        self._txn.pop(block, None)
+        txn = self._txn.pop(block, None)
         self.directory.release(block)
+        if txn is not None:
+            # the transaction's request message was pinned by
+            # _begin_txn; its lifetime ends here (no-op off-pool)
+            self.net.release(txn[1])
 
     def _retry_txn(self, block: int) -> None:
         """Re-dispatch the in-flight transaction after a writeback race

@@ -360,26 +360,35 @@ class PUNodeCtrl(NodeCtrl):
         clobber a disjoint sub-word store they applied locally after
         this one serialized."""
         c = self.config.prop_issue_cycles
+        sched = self.sim.schedule
         for k, s in enumerate(receivers):
-            self.sim.schedule(
-                k * c,
-                lambda s=s: self._send(MsgType.UPD_PROP, s, block,
-                                       word=word, value=value,
-                                       mask=mask, requester=writer))
+            # method + args, no per-receiver closure
+            sched(k * c, self._send_prop, s, block, word, value, mask,
+                  writer)
         return self.sim.now + len(receivers) * c
+
+    def _send_prop(self, dst: int, block: int, word: int, value,
+                   mask, writer: int) -> None:
+        self._send(MsgType.UPD_PROP, dst, block, word=word, value=value,
+                   mask=mask, requester=writer)
 
     def _home_recall_reply(self, msg: Message) -> None:
         """The retaining owner flushed its dirty copy back; resume the
         stalled transaction."""
         ent = self.directory.entry(msg.block)
         t = self.mem.reserve(self.mem.block_access_cycles())
+        # capture locals, not msg: the pooled message is recycled when
+        # this handler returns, before ``finish`` runs
+        block = msg.block
+        data = msg.data or {}
+        src_bit = 1 << msg.src
 
         def finish() -> None:
-            self.mem.write_block(msg.block, msg.data or {})
+            self.mem.write_block(block, data)
             ent.dstate = DIR_SHARED
             ent.owner = -1
-            ent.sharer_mask |= 1 << msg.src  # the ex-owner stays a sharer
-            self._retry_txn(msg.block)
+            ent.sharer_mask |= src_bit  # the ex-owner stays a sharer
+            self._retry_txn(block)
 
         self.sim.at(t, finish)
 
@@ -392,8 +401,8 @@ class PUNodeCtrl(NodeCtrl):
             ent.owner = -1
         ent.sharer_mask &= ~(1 << msg.src)
         t = self.mem.reserve(self.mem.block_access_cycles())
-        data = msg.data or {}
-        self.sim.at(t, lambda: self.mem.write_block(msg.block, data))
+        # method + args (not a closure over the pooled msg)
+        self.sim.at(t, self.mem.write_block, msg.block, msg.data or {})
 
     def _home_drop_notice(self, msg: Message) -> None:
         """A sharer dropped/flushed its copy (or cancels a retain grant

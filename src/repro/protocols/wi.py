@@ -308,14 +308,20 @@ class WINodeCtrl(NodeCtrl):
         controller's iteration rate; returns the absolute completion
         time of the issue loop."""
         c = self.config.prop_issue_cycles
+        block = msg.block
+        req = msg.requester
+        sched = self.sim.schedule
         for k, s in enumerate(invs):
-            self.miss_cls.record_leave(s, msg.block,
+            self.miss_cls.record_leave(s, block,
                                        EvictReason.INVALIDATION)
-            self.sim.schedule(
-                k * c,
-                lambda s=s: self._send(MsgType.INV, s, msg.block,
-                                       requester=msg.requester, seq=seq))
+            # method + args, no per-sharer closure (and no reference to
+            # the pooled msg outliving its delivery)
+            sched(k * c, self._send_inv, s, block, req, seq)
         return self.sim.now + len(invs) * c
+
+    def _send_inv(self, dst: int, block: int, requester: int,
+                  seq: int) -> None:
+        self._send(MsgType.INV, dst, block, requester=requester, seq=seq)
 
     def _home_rdex(self, msg: Message) -> None:
         self._begin_txn(msg, self._rdex_txn)
@@ -382,13 +388,18 @@ class WINodeCtrl(NodeCtrl):
         """Ex-dirty owner demoted to SHARED; completes a forwarded read."""
         ent = self.directory.entry(msg.block)
         t = self.mem.reserve(self.mem.block_access_cycles())
+        # capture locals, not msg: the pooled message is recycled when
+        # this handler returns, before ``finish`` runs
+        block = msg.block
+        data = msg.data or {}
+        sharers = (1 << msg.src) | (1 << msg.requester)
 
         def finish() -> None:
-            self.mem.write_block(msg.block, msg.data or {})
+            self.mem.write_block(block, data)
             ent.dstate = DIR_SHARED
             ent.owner = -1
-            ent.sharer_mask = (1 << msg.src) | (1 << msg.requester)
-            self._end_txn(msg.block)
+            ent.sharer_mask = sharers
+            self._end_txn(block)
 
         self.sim.at(t, finish)
 
@@ -408,5 +419,5 @@ class WINodeCtrl(NodeCtrl):
             ent.dstate = DIR_UNOWNED
             ent.owner = -1
         t = self.mem.reserve(self.mem.block_access_cycles())
-        data = msg.data or {}
-        self.sim.at(t, lambda: self.mem.write_block(msg.block, data))
+        # method + args (not a closure over the pooled msg)
+        self.sim.at(t, self.mem.write_block, msg.block, msg.data or {})

@@ -234,6 +234,22 @@ class _Extractor:
                 if attr is not None:
                     self._follow(attr, None, effects, seen, line)
                     continue
+                # likewise a bare ``self.mem.write_block`` /
+                # ``self.cache.*`` reference scheduled as a callback
+                sub = _self_sub_attr(node)
+                if sub is not None:
+                    owner, meth = sub
+                    if owner == "cache":
+                        if meth == "install":
+                            self._record(effects, "install", line)
+                        elif meth == "invalidate":
+                            self._record(effects, "invalidate", line)
+                        elif meth == "write_word":
+                            self._record(effects, "cache_write", line)
+                    elif owner == "mem" and meth in ("write_word",
+                                                     "write_block"):
+                        self._record(effects, "mem_write", line)
+                    continue
                 cls_ref = _class_attr(node)
                 if cls_ref is not None:
                     cname, attr = cls_ref

@@ -1,0 +1,165 @@
+"""Message-pool correctness: recycling, freeze/drain interop with
+snapshots, debug poisoning, and the ``--profile`` stats surface."""
+
+import pytest
+
+from repro.config import MachineConfig
+from repro.engine import ControlledSimulator, Simulator
+from repro.network.fabric import Network
+from repro.network.messages import MessagePool, MsgType
+from repro.runtime import Machine
+
+
+def _fabric(pool_debug: bool = False, controlled: bool = False):
+    """A 2-node fabric with collecting handlers on both nodes."""
+    sim = ControlledSimulator() if controlled else Simulator()
+    cfg = MachineConfig(num_procs=2, cache_size_bytes=1024,
+                        pool_debug=pool_debug)
+    net = Network(sim, cfg)
+    inbox = []
+    net.register(0, inbox.append)
+    net.register(1, inbox.append)
+    return sim, net, inbox
+
+
+class TestRecycling:
+    def test_release_then_reuse_returns_same_object(self):
+        sim, net, inbox = _fabric()
+        net.post(MsgType.READ_REQ, 0, 1, block=5, word=8)
+        sim.run()
+        (msg,) = inbox
+        assert msg.block == 5 and msg.word == 8
+        net.release(msg)
+        assert msg.in_pool
+
+        net.post(MsgType.READ_REQ, 1, 0, block=7, word=12, requester=1)
+        sim.run()
+        reused = inbox[1]
+        assert reused is msg                     # recycled, not rebuilt
+        assert not reused.in_pool
+        assert (reused.src, reused.dst) == (1, 0)
+        assert reused.block == 7 and reused.word == 12
+        assert net.pool.reused == 1
+
+    def test_release_drops_payload_references(self):
+        sim, net, inbox = _fabric()
+        payload = {0: 42}
+        net.post(MsgType.READ_REPLY, 0, 1, block=3, data=payload)
+        sim.run()
+        (msg,) = inbox
+        net.release(msg)
+        assert msg.data is None                  # free list keeps no data
+
+    def test_double_release_raises(self):
+        sim, net, inbox = _fabric()
+        net.post(MsgType.INV, 0, 1, block=1)
+        sim.run()
+        (msg,) = inbox
+        net.release(msg)
+        with pytest.raises(RuntimeError, match="double release"):
+            net.pool.release(msg)
+
+    def test_controlled_simulator_disables_pooling(self):
+        sim, net, inbox = _fabric(controlled=True)
+        assert not net.pooling_active
+        net.post(MsgType.INV, 0, 1, block=1)
+        sim.run()
+        (msg,) = inbox
+        net.release(msg)                         # no-op off-pool
+        assert not msg.in_pool
+        assert net.pool.released == 0
+
+
+class TestSnapshotInterop:
+    def test_freeze_stops_recycling_without_mutation(self):
+        sim, net, inbox = _fabric()
+        net.post(MsgType.READ_REPLY, 0, 1, block=3, data={0: 9})
+        sim.run()
+        (msg,) = inbox
+        net.freeze_pool()                        # what Machine.snapshot does
+        assert net.pool.frozen and not net.pooling_active
+        net.release(msg)
+        # a post-freeze release is a counted drop: the message keeps
+        # its contents (snapshots share it by reference)
+        assert not msg.in_pool
+        assert msg.data == {0: 9}
+        assert net.pool.stats()["dropped_frozen"] == 1
+
+        net.post(MsgType.READ_REPLY, 1, 0, block=4)
+        sim.run()
+        assert inbox[1] is not msg               # no reuse after freeze
+
+    def test_restore_drains_free_lists(self):
+        sim, net, inbox = _fabric()
+        snap = net.snapshot_state()
+        net.post(MsgType.INV, 0, 1, block=1)
+        sim.run()
+        net.release(inbox[0])
+        assert net.pool.stats()["free"] == 1
+        net.restore_state(snap)
+        assert net.pool.stats()["free"] == 0     # drained, rebuilt lazily
+
+    def test_machine_snapshot_freezes_pool(self):
+        cfg = MachineConfig(num_procs=2, cache_size_bytes=1024)
+        machine = Machine(cfg)
+
+        def program(node):
+            from repro.isa.ops import Compute
+            yield Compute(1)
+
+        machine.spawn_all(program)
+        machine.record_histories()
+        machine.run()
+        assert not machine.net.pool.frozen
+        machine.snapshot()
+        assert machine.net.pool.frozen
+
+
+class TestPoisonMode:
+    def test_seeded_use_after_release_is_detected(self):
+        sim, net, inbox = _fabric(pool_debug=True)
+        assert net.pool.debug
+        net.post(MsgType.UPD_PROP, 0, 1, block=2, word=4, value=99)
+        sim.run()
+        (msg,) = inbox
+        stale = msg                              # the seeded dangling ref
+        net.release(msg)
+        with pytest.raises(RuntimeError, match="use-after-release"):
+            stale.value + 1                      # first touch explodes
+        with pytest.raises(RuntimeError, match="use-after-release"):
+            bool(stale.word)
+
+    def test_reuse_unpoisons(self):
+        sim, net, inbox = _fabric(pool_debug=True)
+        net.post(MsgType.UPD_PROP, 0, 1, block=2, word=4, value=99)
+        sim.run()
+        net.release(inbox[0])
+        net.post(MsgType.UPD_PROP, 1, 0, block=6, word=8, value=7)
+        sim.run()
+        reused = inbox[1]
+        assert reused is inbox[0]
+        assert reused.mtype is MsgType.UPD_PROP
+        assert reused.value == 7 and reused.word == 8
+
+
+class TestStats:
+    def test_pool_stats_shape(self):
+        pool = MessagePool()
+        s = pool.stats()
+        assert set(s) == {"reused", "released", "dropped_frozen",
+                          "free", "frozen", "debug"}
+
+    def test_profile_flag_reports_pool_totals(self, tmp_path, capsys,
+                                              monkeypatch):
+        from repro.experiments import cli
+
+        prefix = str(tmp_path / "prof")
+        rc = cli.main(["fig16", "--scale", "0.01", "--procs", "4",
+                       "--jobs", "1", "--no-cache", "--quiet",
+                       "--profile", prefix])
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "[message pool:" in err
+        import re
+        m = re.search(r"\[message pool: (\d+) reused", err)
+        assert m and int(m.group(1)) > 0         # recycling actually ran

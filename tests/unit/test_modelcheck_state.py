@@ -5,7 +5,7 @@ from __future__ import annotations
 
 from repro.config import Protocol
 from repro.modelcheck import canonical_key, get_program
-from repro.modelcheck.explorer import _build, _step
+from repro.modelcheck.explorer import _build
 from repro.modelcheck.state import encode_machine
 
 
@@ -27,13 +27,13 @@ def _advance(machine, histories, first_choice: int, steps: int):
     machine.sim.chooser = chooser
     machine.prepare()
     for _ in range(steps):
-        _step(machine.sim)
+        machine.sim.step()
 
 
 def test_key_is_deterministic():
     machine, built, histories, syms = _machine()
     machine.prepare()
-    pending = list(machine.sim._queue)
+    pending = machine.sim.pending_snapshot()
     k1 = canonical_key(machine, pending, syms, histories)
     k2 = canonical_key(machine, pending, syms, histories)
     assert k1 is not None
@@ -45,7 +45,7 @@ def test_identical_runs_share_a_key():
     for _ in range(2):
         machine, built, histories, syms = _machine()
         _advance(machine, histories, first_choice=0, steps=2)
-        keys.append(canonical_key(machine, list(machine.sim._queue),
+        keys.append(canonical_key(machine, machine.sim.pending_snapshot(),
                                   syms, histories))
     assert keys[0] is not None
     assert keys[0] == keys[1]
@@ -54,10 +54,10 @@ def test_identical_runs_share_a_key():
 def test_key_tracks_machine_state():
     machine, built, histories, syms = _machine()
     machine.prepare()
-    before = canonical_key(machine, list(machine.sim._queue), syms,
+    before = canonical_key(machine, machine.sim.pending_snapshot(), syms,
                            histories)
-    _step(machine.sim)
-    after = canonical_key(machine, list(machine.sim._queue), syms,
+    machine.sim.step()
+    after = canonical_key(machine, machine.sim.pending_snapshot(), syms,
                           histories)
     assert before != after
 
@@ -71,7 +71,7 @@ def test_symmetry_merges_mirror_states():
     for first in (0, 1):
         machine, built, histories, syms = _machine()
         _advance(machine, histories, first_choice=first, steps=1)
-        pending = list(machine.sim._queue)
+        pending = machine.sim.pending_snapshot()
         encodings.append(repr(encode_machine(machine, pending,
                                              histories)))
         keys.append(canonical_key(machine, pending, syms, histories))
@@ -84,6 +84,6 @@ def test_without_symmetry_mirror_states_stay_distinct():
     for first in (0, 1):
         machine, built, histories, syms = _machine()
         _advance(machine, histories, first_choice=first, steps=1)
-        keys.append(canonical_key(machine, list(machine.sim._queue),
+        keys.append(canonical_key(machine, machine.sim.pending_snapshot(),
                                   (), histories))
     assert keys[0] != keys[1]
