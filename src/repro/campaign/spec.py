@@ -35,10 +35,34 @@ _PROTOCOL_FIELDS = frozenset({"protocol", "hybrid_default"})
 #: mixed into the source digest; bump on changes that the digest alone
 #: would miss (behaviour-preserving rewrites whose cached results should
 #: still be retired, e.g. the PR-3 hot-path overhaul, the PR-7
-#: array-native core, or the PR-8 calendar queue + message pool)
-CODE_VERSION_EPOCH = 4
+#: array-native core, the PR-8 calendar queue + message pool, or the
+#: PR-9 spec-synthesized transients + graph-verified protocol fixes)
+CODE_VERSION_EPOCH = 5
 
 _code_version_cache: str = ""
+
+_spec_hash_cache: Dict[str, str] = {}
+
+
+def spec_hash(protocol: Any) -> str:
+    """Digest of a protocol's declarative transition tables.
+
+    Folded into every :meth:`RunSpec.to_jsonable` (and hence the cache
+    key) so editing a protocol's spec tables retires exactly that
+    protocol's cached results while the source digest catches everything
+    else.  Accepts a :class:`~repro.config.Protocol` member or its
+    string value; returns ``""`` for protocols without a spec.
+    """
+    key = getattr(protocol, "value", protocol)
+    if key not in _spec_hash_cache:
+        from repro.protospec import SPEC_BUILDERS, get_spec
+        if key in SPEC_BUILDERS:
+            text = get_spec(key).dumps()
+            _spec_hash_cache[key] = hashlib.sha256(
+                text.encode()).hexdigest()[:16]
+        else:
+            _spec_hash_cache[key] = ""
+    return _spec_hash_cache[key]
 
 
 def canonical_json(obj: Any) -> str:
@@ -151,10 +175,14 @@ class RunSpec:
             "config": config_to_jsonable(self.config),
             "params": self.params_dict,
             "code_version": self.code_version,
+            "spec_hash": spec_hash(self.config.protocol),
         }
 
     @classmethod
     def from_jsonable(cls, data: Mapping[str, Any]) -> "RunSpec":
+        # "spec_hash" is derived from the protocol tables, not stored:
+        # round-tripping recomputes it, so a stored spec written against
+        # older tables hashes to a different key, as intended.
         return cls(
             workload=data["workload"],
             config=config_from_jsonable(data["config"]),

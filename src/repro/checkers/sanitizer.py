@@ -39,8 +39,12 @@ from typing import Any, Dict, Set
 from repro.checkers.violations import CheckerReport
 from repro.memsys.cache import CacheState
 
-#: cache states that grant exclusive (locally writable) access
-EXCLUSIVE_STATES = (CacheState.MODIFIED, CacheState.RETAINED)
+#: cache states that grant exclusive (locally writable) access.  MESI's
+#: clean-exclusive E belongs here: the directory records the E holder
+#: as owner and its copy may become dirty silently, so SWMR and
+#: directory agreement must treat it exactly like M.
+EXCLUSIVE_STATES = (CacheState.MODIFIED, CacheState.RETAINED,
+                    CacheState.EXCLUSIVE)
 
 
 class CoherenceSanitizer:

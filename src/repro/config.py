@@ -30,12 +30,18 @@ class Protocol(enum.Enum):
           that motivates the paper): each shared allocation is tagged
           with the protocol that manages its blocks, and the machine
           runs all of them side by side.
+    MESI -- write invalidate with a clean-exclusive state: a read miss
+          on an unowned block is granted E and upgrades to M silently
+          on the first store.  Authored as a stable-state spec only;
+          its transient states are synthesized
+          (:mod:`repro.protospec.synth`).
     """
 
     WI = "wi"
     PU = "pu"
     CU = "cu"
     HYBRID = "hybrid"
+    MESI = "mesi"
 
     @property
     def is_update_based(self) -> bool:
@@ -44,7 +50,8 @@ class Protocol(enum.Enum):
     @property
     def short(self) -> str:
         """One-letter label used in the paper's bar charts (i / u / c)."""
-        return {"wi": "i", "pu": "u", "cu": "c", "hybrid": "h"}[self.value]
+        return {"wi": "i", "pu": "u", "cu": "c", "hybrid": "h",
+                "mesi": "e"}[self.value]
 
     @classmethod
     def parse(cls, text: str) -> "Protocol":
@@ -55,6 +62,7 @@ class Protocol(enum.Enum):
             "c": cls.CU, "cu": cls.CU, "competitive": cls.CU,
             "competitive-update": cls.CU,
             "h": cls.HYBRID, "hy": cls.HYBRID, "hybrid": cls.HYBRID,
+            "e": cls.MESI, "mesi": cls.MESI,
         }
         try:
             return aliases[t]

@@ -41,7 +41,8 @@ from repro.staticcheck import (
 )
 
 #: analysis order (and the --protocol default)
-ALL_PROTOCOLS = (Protocol.WI, Protocol.PU, Protocol.CU, Protocol.HYBRID)
+ALL_PROTOCOLS = (Protocol.WI, Protocol.PU, Protocol.CU, Protocol.HYBRID,
+                 Protocol.MESI)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -70,6 +71,21 @@ def build_parser() -> argparse.ArgumentParser:
                         "checking the pristine tree")
     p.add_argument("--mutant", action="append", metavar="NAME",
                    help="with --mutants: restrict to these mutations")
+    p.add_argument("--synth", action="store_true",
+                   help="print the synthesis report: which transient "
+                        "states and rows each protocol's table derives "
+                        "from its stable-state spec")
+    p.add_argument("--graph", action="store_true",
+                   help="also explore the cache x home product graph "
+                        "of each spec over all message reorderings "
+                        "(deadlock / livelock / staleness / dead rows)")
+    p.add_argument("--graph-json", metavar="DIR", default=None,
+                   help="with --graph: write each protocol's "
+                        "exploration record as DIR/<proto>-graph.json")
+    p.add_argument("--graph-mutants", action="store_true",
+                   help="validate the product-graph explorer against "
+                        "the seeded table-level mutations: each must "
+                        "be flagged with a counterexample path")
     p.add_argument("--quiet", action="store_true",
                    help="only print findings and the final tally")
     return p
@@ -108,6 +124,17 @@ def run_staticcheck(protocols: List[Protocol]) -> StaticCheckReport:
 
 def _check(args, protocols: List[Protocol]) -> int:
     report = run_staticcheck(protocols)
+    graph_records = {}
+    if args.graph:
+        from repro.staticcheck import check_spec_graph
+        for proto in protocols:
+            findings, record = check_spec_graph(proto.value)
+            report.extend(findings)
+            graph_records[proto.value] = record
+            if not args.quiet:
+                states = sum(r["states"] for r in record["runs"])
+                print(f"  [graph {proto.value}: {states} product "
+                      f"states explored]", file=sys.stderr)
     if not args.no_suppressions:
         try:
             table = load_suppressions(args.suppressions)
@@ -115,6 +142,16 @@ def _check(args, protocols: List[Protocol]) -> int:
             print(f"staticcheck: bad suppression manifest: {exc}",
                   file=sys.stderr)
             return 2
+        if not args.graph:
+            # graph-scoped suppressions are not stale when the graph
+            # pass did not run
+            table = {ident: reason for ident, reason in table.items()
+                     if "/graph-" not in ident}
+        else:
+            selected = {p.value for p in protocols}
+            table = {ident: reason for ident, reason in table.items()
+                     if "/graph-" not in ident
+                     or ident.split("/", 1)[0] in selected}
         report.apply_suppressions(table)
     print(report.render())
     if args.json:
@@ -123,6 +160,14 @@ def _check(args, protocols: List[Protocol]) -> int:
                       indent=2, sort_keys=True)
         if not args.quiet:
             print(f"  [wrote {args.json}]", file=sys.stderr)
+    if args.graph_json and graph_records:
+        os.makedirs(args.graph_json, exist_ok=True)
+        for name, record in graph_records.items():
+            path = os.path.join(args.graph_json, f"{name}-graph.json")
+            with open(path, "w", encoding="utf-8") as fh:
+                json.dump(record, fh, indent=2, sort_keys=True)
+            if not args.quiet:
+                print(f"  [wrote {path}]", file=sys.stderr)
     return 0 if report.ok else 1
 
 
@@ -176,6 +221,105 @@ def _mutants(args, protocols: List[Protocol]) -> int:
     return 0 if all_ok else 1
 
 
+def _synth(args, protocols: List[Protocol]) -> int:
+    """Report what each protocol's table derives from a stable-state
+    spec (only MESI is synthesized today)."""
+    from repro.protospec import mesi_stable
+
+    for proto in protocols:
+        spec = get_spec(proto)
+        rows = len(spec.cache.rows) + len(spec.home.rows)
+        if proto is not Protocol.MESI:
+            print(f"{proto.value}: hand-written table -- "
+                  f"{len(spec.cache.states)} cache states, "
+                  f"{len(spec.home.states)} home states, {rows} rows")
+            continue
+        stable = mesi_stable()
+        authored = set(stable.cache.stable) | set(stable.home.stable)
+        cache_t = [s for s in spec.cache.states
+                   if s not in stable.cache.stable]
+        home_t = [s for s in spec.home.states
+                  if s not in stable.home.stable]
+        imposs = (len(spec.cache.impossible)
+                  + len(spec.home.impossible))
+        print(f"{proto.value}: synthesized from a stable-state spec")
+        print(f"  authored stable states : "
+              f"{', '.join(sorted(authored))}")
+        print(f"  synthesized cache transients ({len(cache_t)}): "
+              f"{', '.join(cache_t)}")
+        print(f"  synthesized home transients ({len(home_t)}): "
+              f"{', '.join(home_t)}")
+        print(f"  rows {rows}, impossible entries {imposs} "
+              f"(every non-row pair carries a written reason)")
+    return 0
+
+
+def _graph_mutants(args) -> int:
+    """Validate the product-graph explorer: every seeded table-level
+    mutation must be flagged, with a counterexample path."""
+    from repro.staticcheck import (
+        SPEC_MUTATIONS, apply_spec_mutation, check_spec_graph,
+    )
+
+    names = args.mutant or sorted(SPEC_MUTATIONS)
+    unknown = [n for n in names if n not in SPEC_MUTATIONS]
+    if unknown:
+        print(f"staticcheck: unknown spec mutation(s) "
+              f"{', '.join(unknown)}; have "
+              f"{', '.join(sorted(SPEC_MUTATIONS))}", file=sys.stderr)
+        return 2
+
+    # the pristine graph must be clean for the mutated protocols, or
+    # detection means nothing
+    results = {}
+    all_ok = True
+    baselines = {}
+    for name in names:
+        mut = SPEC_MUTATIONS[name]
+        if mut.protocol not in baselines:
+            base_findings, _ = check_spec_graph(mut.protocol)
+            baselines[mut.protocol] = [
+                f for f in base_findings if f.severity == "error"]
+        base_errors = baselines[mut.protocol]
+        if base_errors:
+            print(f"{name:<24} BASELINE DIRTY: pristine {mut.protocol} "
+                  f"graph has {len(base_errors)} error(s); fix those "
+                  f"first")
+            all_ok = False
+            continue
+        spec = apply_spec_mutation(get_spec(mut.protocol), name)
+        findings, record = check_spec_graph(mut.protocol, spec)
+        errors = [f for f in findings if f.severity == "error"]
+        kinds = {f.ident.split("/")[1].replace("graph-", "")
+                 for f in errors}
+        hit = sorted(kinds & mut.expect)
+        ces = record["counterexamples"]
+        results[name] = {
+            "protocol": mut.protocol,
+            "expected": sorted(mut.expect),
+            "detected": sorted(kinds),
+            "counterexamples": len(ces),
+        }
+        if hit and ces:
+            print(f"{name:<24} DETECTED ({', '.join(hit)}; "
+                  f"{len(ces)} counterexample path(s))")
+        else:
+            print(f"{name:<24} NOT DETECTED: expected "
+                  f"{sorted(mut.expect)}, graph reported "
+                  f"{sorted(kinds) or 'nothing'}")
+            all_ok = False
+    if args.json:
+        payload = {"mutations": results, "ok": all_ok}
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        if not args.quiet:
+            print(f"  [wrote {args.json}]", file=sys.stderr)
+    if all_ok:
+        print(f"staticcheck: all {len(names)} seeded table "
+              f"mutation(s) caught by the graph explorer")
+    return 0 if all_ok else 1
+
+
 def _dump_specs(args, protocols: List[Protocol]) -> int:
     os.makedirs(args.dump_specs, exist_ok=True)
     for proto in protocols:
@@ -194,6 +338,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     protocols = _parse_protocols(args.protocol, parser)
     if args.dump_specs:
         return _dump_specs(args, protocols)
+    if args.synth:
+        return _synth(args, protocols)
+    if args.graph_mutants:
+        return _graph_mutants(args)
     if args.mutants:
         return _mutants(args, protocols)
     return _check(args, protocols)

@@ -47,12 +47,13 @@ class CacheState(enum.Enum):
     MODIFIED = "M"     # WI: exclusive dirty
     VALID = "V"        # PU/CU: valid copy kept coherent by updates
     RETAINED = "R"     # PU/CU: effectively-private; writes stay local
+    EXCLUSIVE = "E"    # MESI: exclusive clean; silent upgrade to M
 
 
 #: dense enum view indexed by the per-line ``state_code`` ints below
 CACHE_STATES = (CacheState.INVALID, CacheState.SHARED,
                 CacheState.MODIFIED, CacheState.VALID,
-                CacheState.RETAINED)
+                CacheState.RETAINED, CacheState.EXCLUSIVE)
 
 #: plain-int state codes (INVALID must stay 0: occupancy tests rely on
 #: ``state_code`` being falsy exactly for invalid lines)
@@ -61,6 +62,7 @@ STATE_SHARED = 1
 STATE_MODIFIED = 2
 STATE_VALID = 3
 STATE_RETAINED = 4
+STATE_EXCLUSIVE = 5
 
 for _code, _state in enumerate(CACHE_STATES):
     _state.code = _code

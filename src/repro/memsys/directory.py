@@ -78,7 +78,7 @@ def mask_nodes(mask: int) -> Tuple[int, ...]:
 
 class DirEntry:
     __slots__ = ("block", "dstate", "sharer_mask", "owner", "busy",
-                 "queue", "seq")
+                 "queue", "seq", "early_wb_mask")
 
     def __init__(self, block: int) -> None:
         self.block = block
@@ -91,6 +91,10 @@ class DirEntry:
         #: queued (callback, args) transactions awaiting the entry
         self.queue: Deque[Tuple[Callable, tuple]] = deque()
         self.seq = 0
+        #: nodes whose WRITEBACK arrived mid-transaction, before the
+        #: DIRTY_TRANSFER recording them as owner: the transfer must
+        #: not install ownership the writer has already given up
+        self.early_wb_mask = 0
 
     @property
     def state(self) -> DirState:
@@ -176,15 +180,16 @@ class Directory:
 
     def snapshot_state(self):
         return {block: (ent.dstate, ent.sharer_mask, ent.owner,
-                        ent.busy, tuple(ent.queue), ent.seq)
+                        ent.busy, tuple(ent.queue), ent.seq,
+                        ent.early_wb_mask)
                 for block, ent in self._entries.items()}
 
     def restore_state(self, snap) -> None:
         entries = self._entries
         for block in [b for b in entries if b not in snap]:
             del entries[block]
-        for block, (dstate, mask, owner, busy, queue, seq) in \
-                snap.items():
+        for block, (dstate, mask, owner, busy, queue, seq,
+                    early_wb) in snap.items():
             ent = entries.get(block)
             if ent is None:
                 ent = entries[block] = DirEntry(block)
@@ -194,3 +199,4 @@ class Directory:
             ent.busy = busy
             ent.queue = deque(queue)
             ent.seq = seq
+            ent.early_wb_mask = early_wb

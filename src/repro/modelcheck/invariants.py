@@ -32,8 +32,11 @@ from repro.config import Protocol
 from repro.memsys.cache import CacheLine, CacheState
 from repro.memsys.directory import DirState
 
-#: states that make a cached copy "dirty" (exclusive ownership)
-DIRTY_STATES = (CacheState.MODIFIED, CacheState.RETAINED)
+#: states that make a cached copy "dirty" (exclusive ownership).
+#: MESI's E counts: the copy is clean but the directory records its
+#: holder as owner, and it may go dirty with no further traffic.
+DIRTY_STATES = (CacheState.MODIFIED, CacheState.RETAINED,
+                CacheState.EXCLUSIVE)
 
 
 class InvariantViolation(AssertionError):

@@ -36,7 +36,7 @@ from repro.memsys.cache import CacheState
 
 #: the protocols every litmus program is explored under
 MODEL_CHECK_PROTOCOLS = (Protocol.WI, Protocol.PU, Protocol.CU,
-                         Protocol.HYBRID)
+                         Protocol.HYBRID, Protocol.MESI)
 
 #: (node_map, word_map) pairs; word maps are keyed by address
 SymmetrySpec = Tuple[Dict[int, int], Dict[int, int]]

@@ -88,7 +88,13 @@ def _pu_upd_prop_overwrite():
         msg.mask = None  # BUG: forget the byte mask -> full overwrite
         original(self, msg)
 
-    with _patched(PUNodeCtrl, "_cache_upd_prop", mutated):
+    def no_shadow(self, msg, merged):
+        # an implementation that forgot the byte mask has no masked
+        # store-buffer re-apply either -- the clobber must stay visible
+        return merged
+
+    with _patched(PUNodeCtrl, "_cache_upd_prop", mutated), \
+            _patched(PUNodeCtrl, "_shadow_pending_stores", no_shadow):
         yield
 
 

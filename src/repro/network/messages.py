@@ -47,6 +47,11 @@ class MsgType(enum.Enum):
     FWD_NACK = "fwd_nack"            # ex-owner -> home (ctrl): fwd raced
                                      # with an in-flight writeback
 
+    # --- MESI (synthesized; repro/protospec/mesi.py) --------------------
+    EXCL_REPLY = "excl_reply"        # home  -> proc   (data): clean-
+                                     # exclusive grant for a read miss on
+                                     # an unowned block
+
     @property
     def is_data(self) -> bool:
         """True if the message carries a whole cache block."""
@@ -61,7 +66,7 @@ class MsgType(enum.Enum):
 _BLOCK_DATA = {
     MsgType.READ_REPLY, MsgType.OWNER_DATA, MsgType.SHARING_WB,
     MsgType.RDEX_REPLY, MsgType.OWNER_DATA_EX, MsgType.WRITEBACK,
-    MsgType.RECALL_REPLY,
+    MsgType.RECALL_REPLY, MsgType.EXCL_REPLY,
 }
 _WORD_DATA = {
     MsgType.UPDATE, MsgType.UPD_PROP, MsgType.ATOMIC_REQ,

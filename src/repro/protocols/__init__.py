@@ -9,6 +9,7 @@ from repro.protocols.base import NodeCtrl
 from repro.protocols.wi import WINodeCtrl
 from repro.protocols.update import PUNodeCtrl, CUNodeCtrl
 from repro.protocols.hybrid import HybridNodeCtrl
+from repro.protocols.mesi import MESINodeCtrl
 
 from repro.config import Protocol
 
@@ -17,6 +18,7 @@ _CTRL_CLASSES = {
     Protocol.PU: PUNodeCtrl,
     Protocol.CU: CUNodeCtrl,
     Protocol.HYBRID: HybridNodeCtrl,
+    Protocol.MESI: MESINodeCtrl,
 }
 
 
@@ -26,4 +28,4 @@ def make_controller(machine, node: int) -> NodeCtrl:
 
 
 __all__ = ["NodeCtrl", "WINodeCtrl", "PUNodeCtrl", "CUNodeCtrl",
-           "HybridNodeCtrl", "make_controller"]
+           "HybridNodeCtrl", "MESINodeCtrl", "make_controller"]

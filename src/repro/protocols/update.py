@@ -154,9 +154,20 @@ class PUNodeCtrl(NodeCtrl):
         # later retained as the dirty owner.
         merged = merge_word(line.data.get(msg.word, 0), msg.value,
                             msg.mask)
+        merged = self._shadow_pending_stores(msg, merged)
         self.cache.write_word(msg.block, msg.word, merged)
         self.upd_cls.record_update(self.node, msg.block, msg.word)
         self._send(MsgType.UPD_ACK, msg.requester, msg.block)
+
+    def _shadow_pending_stores(self, msg: Message, merged: int) -> int:
+        """Store-buffer shadowing: a write of ours still queued (or
+        awaiting WRITER_ACK) serializes after this update -- its ack
+        would have preceded the UPD_PROP on the home->us channel
+        otherwise -- so re-apply it on top lest the incoming value
+        roll the word back to the older serialization."""
+        for pw in self.wb.writes_to(msg.word):
+            merged = merge_word(merged, pw.value, pw.mask)
+        return merged
 
     def _drop_check(self, line: CacheLine, msg: Message) -> bool:
         """Competitive-update hook; pure update never drops."""

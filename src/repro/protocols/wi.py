@@ -406,6 +406,17 @@ class WINodeCtrl(NodeCtrl):
     def _home_dirty_transfer(self, msg: Message) -> None:
         """Ownership moved between caches; completes a forwarded rdex."""
         ent = self.directory.entry(msg.block)
+        if ent.early_wb_mask >> msg.requester & 1:
+            # the new owner already evicted and wrote back before this
+            # transfer arrived: memory is current, recording it as the
+            # dirty owner now would strand the block (every forward to
+            # it would NACK and retry forever)
+            ent.early_wb_mask &= ~(1 << msg.requester)
+            ent.dstate = DIR_UNOWNED
+            ent.owner = -1
+            ent.sharer_mask = 0
+            self._end_txn(msg.block)
+            return
         ent.dstate = DIR_DIRTY
         ent.owner = msg.requester
         ent.sharer_mask = 0
@@ -418,6 +429,11 @@ class WINodeCtrl(NodeCtrl):
         if ent.dstate == DIR_DIRTY and ent.owner == msg.src:
             ent.dstate = DIR_UNOWNED
             ent.owner = -1
+        elif msg.block in self._txn:
+            # mid-transaction writeback from a node the directory does
+            # not (yet) record as owner: ownership is moving to it
+            # cache-to-cache and the DIRTY_TRANSFER is still in flight
+            ent.early_wb_mask |= 1 << msg.src
         t = self.mem.reserve(self.mem.block_access_cycles())
         # method + args (not a closure over the pooled msg)
         self.sim.at(t, self.mem.write_block, msg.block, msg.data or {})

@@ -70,6 +70,41 @@ ACTION_VOCABULARY = {
     "cache_write": "self.cache.write_word(...)",
     "mem_write": "home memory write (word or block)",
     "atomic_op": "apply_atomic(...) executed here",
+    "note_early_wb": "record a mid-transaction writeback from the "
+                     "node an in-flight DIRTY_TRANSFER will name as "
+                     "owner (DirEntry.early_wb_mask)",
+}
+
+#: machine-evaluable guard predicates.  ``guard`` stays the prose
+#: explanation for humans; ``when`` is the predicate the spec-graph
+#: explorer (:mod:`repro.staticcheck.graph`) evaluates when several
+#: rows share a (state, event) pair.  Rows without a ``when`` are
+#: explored nondeterministically (sound over-approximation).
+WHEN_VOCABULARY = {
+    "requester_is_sharer": "the requesting node is on the sharer list",
+    "requester_not_sharer": "the requesting node is no longer on the "
+                            "sharer list",
+    "other_sharers": "at least one node other than the writer shares "
+                     "the block",
+    "sole_sharer_retain": "the writer is the only sharer and "
+                          "retain-private is enabled",
+    "sole_sharer_no_retain": "the writer is the only sharer and "
+                             "retain-private is disabled",
+    "other_sharers_remain": "removing the sender leaves the sharer "
+                            "list non-empty",
+    "last_sharer": "the sender was the last sharer",
+    "from_owner": "the sender is the recorded dirty owner",
+    "not_from_owner": "the sender is not the recorded dirty owner",
+    "msg_retain": "the message carries a retain grant",
+    "msg_no_retain": "the message carries no retain grant",
+    "counter_below": "the per-line update counter is below the "
+                     "threshold",
+    "counter_at_threshold": "the per-line update counter reaches the "
+                            "threshold",
+    "requester_wrote_back": "the open transaction's requester already "
+                            "wrote the block back (early writeback)",
+    "requester_not_wrote_back": "no early writeback from the open "
+                                "transaction's requester",
 }
 
 _STATE_WRITE_PREFIXES = ("cache:=", "dir:=")
@@ -96,7 +131,9 @@ class TransitionRow:
     two rows for the same (state, event) must have distinct guards.
     ``retry`` marks rows that re-issue/retry without making protocol
     progress; a cycle of retry rows must carry a ``fairness``
-    justification or the progress check flags it.
+    justification or the progress check flags it.  ``when`` is the
+    optional machine-evaluable counterpart of ``guard``, drawn from
+    :data:`WHEN_VOCABULARY`.
     """
 
     state: str
@@ -107,6 +144,7 @@ class TransitionRow:
     retry: bool = False
     fairness: Optional[str] = None
     note: Optional[str] = None
+    when: Optional[str] = None
 
     def to_json(self) -> dict:
         out: dict = {"state": self.state, "event": self.event,
@@ -121,6 +159,8 @@ class TransitionRow:
             out["fairness"] = self.fairness
         if self.note is not None:
             out["note"] = self.note
+        if self.when is not None:
+            out["when"] = self.when
         return out
 
     @classmethod
@@ -131,7 +171,8 @@ class TransitionRow:
                    guard=data.get("guard"),
                    retry=bool(data.get("retry", False)),
                    fairness=data.get("fairness"),
-                   note=data.get("note"))
+                   note=data.get("note"),
+                   when=data.get("when"))
 
 
 @dataclass(frozen=True)
@@ -288,6 +329,11 @@ class ProtocolSpec:
                     if not _is_known_action(action):
                         raise SpecError(
                             f"{rwhere}: unknown action {action!r}")
+                if row.when is not None \
+                        and row.when not in WHEN_VOCABULARY:
+                    raise SpecError(
+                        f"{rwhere}: unknown when-predicate "
+                        f"{row.when!r}")
             for imp in side.impossible:
                 iwhere = f"{where}: impossible ({imp.state}, {imp.event})"
                 if imp.state not in side.states:

@@ -46,12 +46,13 @@ from repro.protospec.model import (
 def _row(state: str, event: str, actions: str = "",
          next_state: Optional[str] = None, guard: Optional[str] = None,
          retry: bool = False, fairness: Optional[str] = None,
-         note: Optional[str] = None) -> TransitionRow:
+         note: Optional[str] = None,
+         when: Optional[str] = None) -> TransitionRow:
     """Compact row constructor; ``actions`` is space-separated."""
     return TransitionRow(state=state, event=event,
                          actions=tuple(actions.split()),
                          next_state=next_state, guard=guard, retry=retry,
-                         fairness=fairness, note=note)
+                         fairness=fairness, note=note, when=when)
 
 
 def _side(name: str, initial: str, states: Sequence[str],
@@ -94,6 +95,13 @@ def _side(name: str, initial: str, states: Sequence[str],
 _FIFO_WB = ("FIFO delivery: the ex-owner's WRITEBACK precedes its NACK "
             "on the same channel, so the retried transaction is served "
             "from current memory and cannot NACK again")
+
+#: fairness justification for NACKing a forward while our own
+#: ownership data is in flight: that data WILL install (it is already
+#: past the home's serialization point), after which we serve forwards
+_XFER = ("the exclusive data that made this node the recorded owner is "
+         "already in flight; once it installs, the retried forward is "
+         "served from the new MODIFIED copy")
 
 _OWNER_ONLY = ("the home forwards this message only to the node it "
                "records as the dirty owner; this state was never "
@@ -138,6 +146,37 @@ def wi_spec() -> ProtocolSpec:
              "install apply_store retire_done evict", "M"),
         _row("IM_AD", "OWNER_DATA_EX", "install finish_atomic evict",
              "M"),
+        # a racing writer can take ownership while our upgrade is in
+        # flight; the home then demotes the upgrade to a full exclusive
+        # transaction whose data comes from the new owner's cache
+        # (OWNER_DATA_EX) or, if that owner wrote back first, from
+        # memory (RDEX_REPLY).  The owner's data travels on a different
+        # channel than the home's INV, so it can overtake the INV and
+        # find our copy still resident (SM_W/SM_AW) -- the handler
+        # installs over it either way.
+        _row("SM_W", "OWNER_DATA_EX",
+             "install apply_store retire_done evict", "M",
+             guard="upgrade demoted: an earlier writer took ownership "
+                   "and served our write from its cache"),
+        _row("SM_AW", "OWNER_DATA_EX", "install finish_atomic evict",
+             "M",
+             guard="upgrade demoted: an earlier writer took ownership "
+                   "and served our atomic from its cache"),
+        _row("I_W", "OWNER_DATA_EX",
+             "install apply_store retire_done evict", "M",
+             guard="upgrade demoted after our copy was lost"),
+        _row("I_AW", "OWNER_DATA_EX", "install finish_atomic evict",
+             "M",
+             guard="upgrade demoted after our copy was lost"),
+        _row("I_W", "RDEX_REPLY",
+             "install apply_store retire_done evict", "M",
+             guard="upgrade demoted after our copy was lost; the "
+                   "interim owner already wrote back, so memory "
+                   "serves the data"),
+        _row("I_AW", "RDEX_REPLY", "install finish_atomic evict", "M",
+             guard="upgrade demoted after our copy was lost; the "
+                   "interim owner already wrote back, so memory "
+                   "serves the data"),
         # upgrade grants
         _row("SM_W", "UPGRADE_REPLY",
              "cache:=MODIFIED apply_store retire_done", "M"),
@@ -201,6 +240,35 @@ def wi_spec() -> ProtocolSpec:
         wb_race("IM_AD", "FETCH_INV_FWD", "send:FWD_NACK", "IM_AD",
                 guard="ownership given up; our WRITEBACK is in flight",
                 retry=True, fairness=_FIFO_WB),
+        # The home can record this node as the new dirty owner (via a
+        # DIRTY_TRANSFER, or by granting a demoted upgrade) while the
+        # exclusive data is still in flight to us, then forward a later
+        # request here.  We are not MODIFIED yet, so we NACK; the retry
+        # is served once our data installs.
+        wb_race("SM_W", "FETCH_FWD", "send:FWD_NACK", "SM_W",
+                guard="recorded as owner, but our exclusive data is "
+                      "still in flight", retry=True, fairness=_XFER),
+        wb_race("SM_AW", "FETCH_FWD", "send:FWD_NACK", "SM_AW",
+                guard="recorded as owner, but our exclusive data is "
+                      "still in flight", retry=True, fairness=_XFER),
+        wb_race("I_W", "FETCH_FWD", "send:FWD_NACK", "I_W",
+                guard="recorded as owner, but our exclusive data is "
+                      "still in flight", retry=True, fairness=_XFER),
+        wb_race("I_AW", "FETCH_FWD", "send:FWD_NACK", "I_AW",
+                guard="recorded as owner, but our exclusive data is "
+                      "still in flight", retry=True, fairness=_XFER),
+        wb_race("SM_W", "FETCH_INV_FWD", "send:FWD_NACK", "SM_W",
+                guard="recorded as owner, but our exclusive data is "
+                      "still in flight", retry=True, fairness=_XFER),
+        wb_race("SM_AW", "FETCH_INV_FWD", "send:FWD_NACK", "SM_AW",
+                guard="recorded as owner, but our exclusive data is "
+                      "still in flight", retry=True, fairness=_XFER),
+        wb_race("I_W", "FETCH_INV_FWD", "send:FWD_NACK", "I_W",
+                guard="recorded as owner, but our exclusive data is "
+                      "still in flight", retry=True, fairness=_XFER),
+        wb_race("I_AW", "FETCH_INV_FWD", "send:FWD_NACK", "I_AW",
+                guard="recorded as owner, but our exclusive data is "
+                      "still in flight", retry=True, fairness=_XFER),
     ]
     cache_impossible = [
         Impossible("M", "INV",
@@ -264,11 +332,13 @@ def wi_spec() -> ProtocolSpec:
         # upgrades
         _row("S", "UPGRADE_REQ",
              "begin_txn send:INV send:UPGRADE_REPLY dir:=DIRTY end_txn",
-             "D", guard="requester still on the sharer list"),
+             "D", guard="requester still on the sharer list",
+             when="requester_is_sharer"),
         _row("S", "UPGRADE_REQ",
              "begin_txn send:INV send:RDEX_REPLY dir:=DIRTY end_txn",
              "D", guard="requester was invalidated while its upgrade "
                         "was in flight",
+             when="requester_not_sharer",
              note="demoted to a full exclusive-data transaction"),
         _row("U", "UPGRADE_REQ",
              "begin_txn send:RDEX_REPLY dir:=DIRTY end_txn", "D",
@@ -287,7 +357,15 @@ def wi_spec() -> ProtocolSpec:
              "S", note="ex-owner demoted itself to SHARED; both it and "
                        "the requester are sharers now"),
         _row("BUSY_X", "DIRTY_TRANSFER", "dir:=DIRTY end_txn", "D",
+             guard="the new owner still holds its copy",
+             when="requester_not_wrote_back",
              note="ownership moved cache-to-cache"),
+        _row("BUSY_X", "DIRTY_TRANSFER", "dir:=UNOWNED end_txn", "U",
+             guard="the new owner already evicted and wrote back",
+             when="requester_wrote_back",
+             note="the early WRITEBACK made memory current; recording "
+                  "the requester as owner now would strand the block "
+                  "(every forward to it would NACK and retry forever)"),
         # evictions
         _row("D", "WRITEBACK", "mem_write dir:=UNOWNED", "U"),
         _row("BUSY_R", "WRITEBACK", "mem_write dir:=UNOWNED", "BUSY_R",
@@ -295,9 +373,18 @@ def wi_spec() -> ProtocolSpec:
                   "forward will be NACKed and its retry must observe "
                   "the clean entry"),
         _row("BUSY_X", "WRITEBACK", "mem_write dir:=UNOWNED", "BUSY_X",
+             guard="the recorded owner gave up ownership",
+             when="from_owner",
              note="processed immediately (never queued): the in-flight "
                   "forward will be NACKed and its retry must observe "
                   "the clean entry"),
+        _row("BUSY_X", "WRITEBACK", "mem_write note_early_wb", "BUSY_X",
+             guard="the in-flight transaction's requester wrote back "
+                   "before its DIRTY_TRANSFER arrived",
+             when="not_from_owner",
+             note="the directory does not record this node as owner "
+                  "yet; remember the writeback so the transfer "
+                  "resolves to UNOWNED"),
         # forward races
         _row("BUSY_R", "FWD_NACK", "retry_txn", "U", retry=True,
              fairness=_FIFO_WB,
@@ -350,6 +437,9 @@ def wi_spec() -> ProtocolSpec:
                              "exclusive copy, not at the home"),
             ("DROP_NOTICE", "update-family message; WI SHARED "
                             "evictions are silent"),
+            ("EXCL_REPLY", "MESI-family message; WI has no clean-"
+                           "exclusive state and grants exclusivity "
+                           "via RDEX_REPLY/UPGRADE_REPLY"),
         ))
     spec.validate()
     return spec
@@ -402,14 +492,16 @@ def pu_spec(competitive: bool = False) -> ProtocolSpec:
                   "victim), apply the store, write through"),
         # write-through completion
         _row("VW_A", "WRITER_ACK", "retire_done", "V",
-             guard="no retain grant"),
+             guard="no retain grant", when="msg_no_retain"),
         _row("VW_A", "WRITER_ACK", "cache:=RETAINED retire_done", "R",
              guard="retain grant: we are the sole sharer, future "
-                   "writes stay local"),
+                   "writes stay local",
+             when="msg_retain"),
         _row("IW_A", "WRITER_ACK", "retire_done", "I",
-             guard="no retain grant"),
+             guard="no retain grant", when="msg_no_retain"),
         _row("IW_A", "WRITER_ACK", "send:DROP_NOTICE retire_done", "I",
              guard="retain grant arrived after the line was lost",
+             when="msg_retain",
              note="cancel the grant so the home does not record a "
                   "phantom owner"),
         # incoming update propagations (writer acked directly)
@@ -454,12 +546,14 @@ def pu_spec(competitive: bool = False) -> ProtocolSpec:
         for state, _ in upd_prop_live:
             cache_rows.append(_row(
                 state, "UPD_PROP", "cache_write send:UPD_ACK", state,
-                guard="update counter below the threshold"))
+                guard="update counter below the threshold",
+                when="counter_below"))
             cache_rows.append(_row(
                 state, "UPD_PROP",
                 "invalidate send:DROP_NOTICE send:UPD_ACK",
                 drop_to[state],
                 guard="update counter reaches the threshold",
+                when="counter_at_threshold",
                 note="competitive drop: self-invalidate and ask the "
                      "home to stop updating us"))
     else:
@@ -525,6 +619,7 @@ def pu_spec(competitive: bool = False) -> ProtocolSpec:
              "begin_txn mem_write send:UPD_PROP send:WRITER_ACK "
              "end_txn", "S",
              guard="other sharers hold copies",
+             when="other_sharers",
              note="sharers ack directly to the writer (release "
                   "consistency)"),
         _row("S", "UPDATE",
@@ -532,12 +627,14 @@ def pu_spec(competitive: bool = False) -> ProtocolSpec:
              "D",
              guard="writer is the sole sharer and retain-private is "
                    "enabled",
+             when="sole_sharer_retain",
              note="the writer is told to retain: the block is "
                   "effectively private and future writes stay local"),
         _row("S", "UPDATE",
              "begin_txn mem_write send:WRITER_ACK end_txn", "S",
              guard="writer is the sole sharer (retain-private "
-                   "disabled)"),
+                   "disabled)",
+             when="sole_sharer_no_retain"),
         _row("D", "UPDATE", "begin_txn send:RECALL", "D_R",
              guard="writer is not the recorded owner (defensive "
                    "recall)",
@@ -570,16 +667,29 @@ def pu_spec(competitive: bool = False) -> ProtocolSpec:
         _row("U", "DROP_NOTICE", "", "U",
              note="stale drop; sharer bookkeeping only"),
         _row("S", "DROP_NOTICE", "", "S",
-             guard="other sharers remain"),
+             guard="other sharers remain",
+             when="other_sharers_remain"),
         _row("S", "DROP_NOTICE", "dir:=UNOWNED", "U",
-             guard="the last sharer dropped"),
+             guard="the last sharer dropped",
+             when="last_sharer"),
         _row("D", "DROP_NOTICE", "dir:=UNOWNED", "U",
              guard="retain-cancel from the recorded owner",
+             when="from_owner",
              note="memory is current: the owner never wrote locally in "
                   "RETAINED state"),
         _row("D", "DROP_NOTICE", "", "D",
-             guard="stale drop from a non-owner"),
+             guard="stale drop from a non-owner",
+             when="not_from_owner"),
+        _row("D_R", "DROP_NOTICE", "dir:=UNOWNED", "D_R",
+             guard="the recalled owner dropped its line before the "
+                   "RECALL reached it",
+             when="from_owner",
+             note="clears the vanished owner so the FWD_NACK retry "
+                  "re-runs against a clean entry instead of "
+                  "re-recalling a node at I forever"),
         _row("D_R", "DROP_NOTICE", "", "D_R",
+             guard="stale drop from a non-owner",
+             when="not_from_owner",
              note="sharer bookkeeping only; the open transaction is "
                   "unaffected"),
         # recall races
@@ -625,6 +735,8 @@ def pu_spec(competitive: bool = False) -> ProtocolSpec:
         unused_messages=(
             ("REPL_HINT", "replacement hints are defined but never "
                           "sent; evictions use DROP_NOTICE/WRITEBACK"),
+            ("EXCL_REPLY", "MESI-family message; the update protocols "
+                           "have no clean-exclusive state"),
         ) + wi_family_unused)
     spec.validate()
     return spec
@@ -686,7 +798,7 @@ def _merge_sides(a: SideSpec, b: SideSpec) -> SideSpec:
                              actions=row.actions,
                              next_state=row.next_state, guard=guard,
                              retry=row.retry, fairness=row.fairness,
-                             note=row.note)
+                             note=row.note, when=row.when)
 
     rows = tuple([reguard(r, _WI_GUARD) for r in a.rows]
                  + [reguard(r, _UPD_GUARD) for r in b.rows])
@@ -731,6 +843,8 @@ def hybrid_spec() -> ProtocolSpec:
         unused_messages=(
             ("REPL_HINT", "replacement hints are defined but never "
                           "sent by any protocol"),
+            ("EXCL_REPLY", "MESI-family message; neither hybrid base "
+                           "protocol has a clean-exclusive state"),
         ))
     spec.validate()
     return spec

@@ -395,7 +395,8 @@ class Machine:
                 dirty = [c.node for c in self.controllers
                          if (ln := c.cache.lookup(block)) is not None
                          and ln.state in (CacheState.MODIFIED,
-                                          CacheState.RETAINED)]
+                                          CacheState.RETAINED,
+                                          CacheState.EXCLUSIVE)]
                 if len(dirty) > 1:
                     raise AssertionError(
                         f"blk {block}: multiple dirty copies at {dirty}")

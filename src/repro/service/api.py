@@ -25,7 +25,7 @@ from repro.service.httpio import HttpError
 
 #: top-level keys accepted by POST /v1/run
 RUN_KEYS = frozenset({"workload", "config", "params", "code_version",
-                      "label", "deadline_s"})
+                      "spec_hash", "label", "deadline_s"})
 
 #: top-level keys accepted by POST /v1/sweep
 SWEEP_KEYS = frozenset({"figure", "scale", "sizes", "procs", "sanitize",
@@ -119,6 +119,12 @@ def spec_from_request(data: Any) -> SweepPoint:
     code_version = data.get("code_version")
     if code_version is not None and not isinstance(code_version, str):
         raise _bad("'code_version' must be a string")
+    # "spec_hash" (present in RunSpec.to_jsonable bodies) is derived
+    # from the server's own protocol tables, never trusted from the
+    # wire -- accept and ignore it
+    spec_hash = data.get("spec_hash")
+    if spec_hash is not None and not isinstance(spec_hash, str):
+        raise _bad("'spec_hash' must be a string")
     try:
         spec = RunSpec.make(workload, config,
                             code_version_salt=code_version, **params)

@@ -7,6 +7,10 @@ Three layers:
   :class:`~repro.protospec.ProtocolSpec`;
 * :mod:`repro.staticcheck.conformance` -- AST diff of the imperative
   handlers in :mod:`repro.protocols` against the spec tables;
+* :mod:`repro.staticcheck.graph` -- exhaustive exploration of the
+  cache x home product graph over all message reorderings: deadlock /
+  livelock / staleness / dead-row checks with minimized, file:line
+  attributed counterexample paths;
 * :mod:`repro.staticcheck.report` -- findings, the suppression
   manifest, and text/JSON rendering.
 
@@ -22,6 +26,10 @@ from repro.staticcheck.conformance import (
     ExtractionError, check_conformance, check_dispatch_tables,
     handler_effects,
 )
+from repro.staticcheck.graph import (
+    SPEC_MUTATIONS, SpecGraphExplorer, SpecMutation,
+    apply_spec_mutation, check_spec_graph, explore_spec,
+)
 from repro.staticcheck.report import (
     Finding, StaticCheckReport, SuppressionError, load_suppressions,
 )
@@ -35,4 +43,6 @@ __all__ = [
     "check_dispatch_tables", "handler_effects",
     "ExtractionError", "Finding", "StaticCheckReport",
     "SuppressionError", "load_suppressions", "DEFAULT_SUPPRESSIONS",
+    "SPEC_MUTATIONS", "SpecGraphExplorer", "SpecMutation",
+    "apply_spec_mutation", "check_spec_graph", "explore_spec",
 ]

@@ -69,16 +69,18 @@ IGNORE_METHODS = {
 
 #: class names the hybrid dispatchers reference explicitly
 _PROTOCOL_CLASS_NAMES = ("NodeCtrl", "WINodeCtrl", "PUNodeCtrl",
-                         "CUNodeCtrl", "HybridNodeCtrl")
+                         "CUNodeCtrl", "HybridNodeCtrl", "MESINodeCtrl")
 
 
 def _protocol_classes() -> Dict[str, type]:
     from repro.protocols import (
-        CUNodeCtrl, HybridNodeCtrl, NodeCtrl, PUNodeCtrl, WINodeCtrl,
+        CUNodeCtrl, HybridNodeCtrl, MESINodeCtrl, NodeCtrl, PUNodeCtrl,
+        WINodeCtrl,
     )
     return {"NodeCtrl": NodeCtrl, "WINodeCtrl": WINodeCtrl,
             "PUNodeCtrl": PUNodeCtrl, "CUNodeCtrl": CUNodeCtrl,
-            "HybridNodeCtrl": HybridNodeCtrl}
+            "HybridNodeCtrl": HybridNodeCtrl,
+            "MESINodeCtrl": MESINodeCtrl}
 
 
 class ExtractionError(RuntimeError):
@@ -225,6 +227,14 @@ class _Extractor:
                         self._record(
                             effects,
                             f"dir:={value.id[len('DIR_'):]}", line)
+                continue
+            # ---- ent.early_wb_mask |= ... : record a mid-transaction
+            # writeback from the incoming owner ------------------------
+            if isinstance(node, ast.AugAssign) and \
+                    isinstance(node.op, ast.BitOr) and \
+                    isinstance(node.target, ast.Attribute) and \
+                    node.target.attr == "early_wb_mask":
+                self._record(effects, "note_early_wb", line)
                 continue
             if not isinstance(node, ast.Call):
                 # a bare reference (``self.sim.at(t, self._end_txn,

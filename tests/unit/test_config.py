@@ -25,13 +25,14 @@ class TestProtocol:
         ("pu", Protocol.PU), ("u", Protocol.PU), ("update", Protocol.PU),
         ("cu", Protocol.CU), ("c", Protocol.CU),
         ("competitive", Protocol.CU),
+        ("mesi", Protocol.MESI), ("e", Protocol.MESI),
     ])
     def test_parse(self, text, expected):
         assert Protocol.parse(text) is expected
 
     def test_parse_unknown(self):
         with pytest.raises(ValueError):
-            Protocol.parse("mesi")
+            Protocol.parse("dragon")
 
     def test_all_protocols_ordering(self):
         assert ALL_PROTOCOLS == (Protocol.WI, Protocol.PU, Protocol.CU)

@@ -13,7 +13,7 @@ from repro.protospec import (
     TransitionRow, get_spec,
 )
 
-ALL = ("wi", "pu", "cu", "hybrid")
+ALL = ("wi", "pu", "cu", "hybrid", "mesi")
 
 
 # --- the shipped tables -----------------------------------------------
@@ -56,8 +56,9 @@ def test_every_msgtype_is_accounted_for(name):
 
 def test_get_spec_accepts_enum_and_string_and_caches():
     assert get_spec(Protocol.WI) is get_spec("wi")
+    assert get_spec(Protocol.MESI) is get_spec("mesi")
     with pytest.raises(KeyError):
-        get_spec("mesi")
+        get_spec("dragon")
 
 
 def test_hybrid_guards_separate_the_merged_sides():

@@ -64,7 +64,7 @@ class TestRunRequests:
         assert "num_procs" in msg
 
     def test_bad_protocol_name(self):
-        body = dict(RUN_BODY, config={"protocol": "mesi"})
+        body = dict(RUN_BODY, config={"protocol": "dragon"})
         err400(api.spec_from_request, body)
 
     def test_workload_required(self):

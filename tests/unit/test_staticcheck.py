@@ -19,7 +19,7 @@ from repro.staticcheck import (
     check_conformance, check_dispatch_tables, load_suppressions,
 )
 
-ALL = ("wi", "pu", "cu", "hybrid")
+ALL = ("wi", "pu", "cu", "hybrid", "mesi")
 
 
 # --- toy-spec scaffolding ---------------------------------------------
