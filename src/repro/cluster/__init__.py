@@ -1,0 +1,19 @@
+"""repro.cluster: sharded simulation-serving (see docs/cluster.md).
+
+A consistent-hash ring partitions the content-addressed result-cache
+key space across N gateway replicas; one router process fronts them,
+planning sweeps into per-shard batches and merging the streams back in
+deterministic spec order.  Stdlib-only, like :mod:`repro.service`.
+"""
+
+from repro.cluster.planner import OrderedMerge, SweepPlan, plan_sweep
+from repro.cluster.ring import DEFAULT_VNODES, EmptyRingError, HashRing
+from repro.cluster.router import (
+    Router, RouterConfig, ShardEndpoint, merge_metrics_texts,
+)
+
+__all__ = [
+    "DEFAULT_VNODES", "EmptyRingError", "HashRing",
+    "OrderedMerge", "SweepPlan", "plan_sweep",
+    "Router", "RouterConfig", "ShardEndpoint", "merge_metrics_texts",
+]

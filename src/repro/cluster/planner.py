@@ -1,0 +1,111 @@
+"""The sweep planner: split a sweep across shards, merge it back.
+
+A ``POST /v1/sweep`` arriving at the router is one logical campaign
+over N spec points.  The planner partitions it by cache ownership
+(McKenney's partitioning principle: shards never contend on the same
+key):
+
+* duplicate keys inside the sweep collapse onto their first occurrence
+  (**cross-shard single-flight**: a spec appearing twice is planned --
+  and therefore executed -- at most once cluster-wide, on its owner);
+* each unique key lands in exactly one per-shard batch, in spec order,
+  decided by the consistent-hash ring over *live* shards;
+* the per-shard NDJSON streams come back concurrently and out of
+  order; :class:`OrderedMerge` re-emits them to the client in global
+  spec order, releasing index ``i`` the moment every index ``<= i``
+  has resolved -- so the merged stream is deterministic and
+  bit-identical in content to a single-gateway sweep of the same
+  points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+from repro.cluster.ring import HashRing
+
+
+@dataclass(frozen=True)
+class SweepPlan:
+    """How one sweep maps onto the cluster.
+
+    ``batches`` maps shard id -> global point indices (unique keys
+    only, in spec order); ``primary[i]`` is the index of the first
+    point sharing point ``i``'s key (``primary[i] == i`` for unique
+    points); ``duplicates`` counts the collapsed points.
+    """
+
+    batches: Dict[str, List[int]]
+    primary: List[int]
+    unique: int
+    duplicates: int
+
+    def shard_of(self, index: int) -> str:
+        for shard, indices in self.batches.items():
+            if index in indices:
+                return shard
+        raise KeyError(index)
+
+
+def plan_sweep(points: Sequence, ring: HashRing) -> SweepPlan:
+    """Partition sweep points by key ownership.
+
+    ``points`` is any sequence whose items expose ``.spec.key`` (the
+    service's :class:`~repro.service.api.SweepPoint`).  Raises
+    :class:`~repro.cluster.ring.EmptyRingError` when no shard is live.
+    """
+    first_index: Dict[str, int] = {}
+    primary: List[int] = []
+    batches: Dict[str, List[int]] = {}
+    duplicates = 0
+    for i, point in enumerate(points):
+        key = point.spec.key
+        seen = first_index.get(key)
+        if seen is not None:
+            primary.append(seen)
+            duplicates += 1
+            continue
+        first_index[key] = i
+        primary.append(i)
+        batches.setdefault(ring.owner(key), []).append(i)
+    return SweepPlan(batches=batches, primary=primary,
+                     unique=len(first_index), duplicates=duplicates)
+
+
+@dataclass
+class OrderedMerge:
+    """Re-emit out-of-order per-index payloads in index order.
+
+    ``put(i, payload)`` buffers until every index below ``i`` has been
+    emitted, then flushes the contiguous prefix through ``emit``.
+    Exactly one ``put`` per index; the buffer never exceeds the length
+    of the longest stalled gap.
+    """
+
+    total: int
+    emit: Callable[[int, object], None]
+    _next: int = 0
+    _buffer: Dict[int, object] = field(default_factory=dict)
+
+    @property
+    def emitted(self) -> int:
+        return self._next
+
+    @property
+    def complete(self) -> bool:
+        return self._next >= self.total
+
+    def put(self, index: int, payload: object) -> int:
+        """Buffer one payload; returns how many entries were flushed."""
+        if not (0 <= index < self.total):
+            raise IndexError(index)
+        if index < self._next or index in self._buffer:
+            raise ValueError(f"index {index} already emitted")
+        self._buffer[index] = payload
+        flushed = 0
+        while self._next in self._buffer:
+            self.emit(self._next, self._buffer.pop(self._next))
+            self._next += 1
+            flushed += 1
+        return flushed

@@ -1,0 +1,122 @@
+"""Consistent-hash ownership ring for the sharded cluster.
+
+Every canonical :class:`~repro.campaign.RunSpec` key (a sha256 hex
+digest) is owned by exactly one shard.  Ownership is decided on a
+consistent-hash ring: each shard contributes ``vnodes`` virtual points
+(sha256 of ``"<shard>\\x00vnode:<i>"``), a key hashes to a point, and
+the owner is the first shard point at or clockwise after it.  The
+properties the cluster relies on:
+
+* **stable across processes** -- points come from sha256 of strings,
+  never from ``hash()``, so the router and every shard agree on
+  ownership regardless of ``PYTHONHASHSEED`` or interpreter;
+* **order-independent** -- adding shards in any order yields the same
+  ring (ties between equal points, astronomically unlikely, break by
+  shard id);
+* **bounded movement** -- when a shard joins, the only keys that change
+  owner are those the new shard takes (~1/N of the key space); when a
+  shard leaves, only its own keys move, to their ring successors.
+
+The ring deliberately knows nothing about networking: it maps key
+strings to shard-id strings.  The router keeps one ring of *live*
+shards (membership changes on mark-down / recovery), and each shard
+keeps a ring of the configured peer set for the ownership check behind
+``repro_misrouted_requests_total``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable, List, Tuple
+
+#: virtual points per shard; 64 keeps the per-shard share of the key
+#: space within a few percent of 1/N while membership changes stay fast
+DEFAULT_VNODES = 64
+
+
+class EmptyRingError(LookupError):
+    """Ownership was asked of a ring with no shards."""
+
+
+def _point(text: str) -> int:
+    """A ring position: the first 8 bytes of sha256, as an integer."""
+    return int.from_bytes(
+        hashlib.sha256(text.encode("utf-8")).digest()[:8], "big")
+
+
+class HashRing:
+    """Consistent-hash ring mapping key strings to shard ids."""
+
+    def __init__(self, shards: Iterable[str] = (),
+                 vnodes: int = DEFAULT_VNODES) -> None:
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = vnodes
+        self._shards: set = set()
+        #: sorted (point, shard_id) pairs; the shard id tie-break makes
+        #: the ring independent of insertion order even on collisions
+        self._ring: List[Tuple[int, str]] = []
+        for shard in shards:
+            self.add(shard)
+
+    # -- membership -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def __contains__(self, shard_id: str) -> bool:
+        return shard_id in self._shards
+
+    @property
+    def shards(self) -> frozenset:
+        return frozenset(self._shards)
+
+    def add(self, shard_id: str) -> None:
+        """Idempotent; inserts the shard's virtual points."""
+        if not shard_id:
+            raise ValueError("shard id must be a non-empty string")
+        if shard_id in self._shards:
+            return
+        self._shards.add(shard_id)
+        for i in range(self.vnodes):
+            bisect.insort(self._ring,
+                          (_point(f"{shard_id}\x00vnode:{i}"), shard_id))
+
+    def remove(self, shard_id: str) -> None:
+        """Idempotent; drops the shard's virtual points."""
+        if shard_id not in self._shards:
+            return
+        self._shards.discard(shard_id)
+        self._ring = [entry for entry in self._ring
+                      if entry[1] != shard_id]
+
+    # -- ownership ------------------------------------------------------
+
+    def owner(self, key: str) -> str:
+        """The shard owning ``key`` (its clockwise successor point)."""
+        if not self._ring:
+            raise EmptyRingError("no shards in the ring")
+        idx = bisect.bisect_left(self._ring, (_point("key\x00" + key), ""))
+        return self._ring[idx % len(self._ring)][1]
+
+    def preference(self, key: str, n: int = None) -> List[str]:
+        """Up to ``n`` distinct shards in ring order from the owner.
+
+        The failover order: the owner first, then the shards that would
+        take over if it (and each successive shard) were removed.
+        """
+        if not self._ring:
+            raise EmptyRingError("no shards in the ring")
+        if n is None:
+            n = len(self._shards)
+        start = bisect.bisect_left(self._ring,
+                                   (_point("key\x00" + key), ""))
+        out: List[str] = []
+        for step in range(len(self._ring)):
+            shard = self._ring[(start + step) % len(self._ring)][1]
+            if shard not in out:
+                out.append(shard)
+                if len(out) >= n:
+                    break
+        return out

@@ -119,6 +119,11 @@ def main(argv: List[str] = None) -> int:
         # closed-loop load generator against a running gateway
         from repro.service.loadgen import main as loadgen_main
         return loadgen_main(argv[1:])
+    if argv and argv[0] == "cluster":
+        # sharded cluster: N gateway replicas behind a consistent-hash
+        # router (docs/cluster.md)
+        from repro.cluster.supervisor import main as cluster_main
+        return cluster_main(argv[1:])
     args = build_parser().parse_args(argv)
 
     wanted = args.figures
@@ -127,7 +132,7 @@ def main(argv: List[str] = None) -> int:
     unknown = [f for f in wanted if f not in FIGURES]
     if unknown:
         subcommands = ("check", "modelcheck", "staticcheck", "serve",
-                       "loadgen")
+                       "loadgen", "cluster")
         candidates = list(FIGURES) + list(subcommands)
         for name in unknown:
             close = difflib.get_close_matches(name, candidates, n=3,

@@ -27,9 +27,11 @@ from repro.service.httpio import HttpError
 RUN_KEYS = frozenset({"workload", "config", "params", "code_version",
                       "spec_hash", "label", "deadline_s"})
 
-#: top-level keys accepted by POST /v1/sweep
+#: top-level keys accepted by POST /v1/sweep ("full_records" asks for
+#: complete RunRecord payloads in spec events -- the cluster router
+#: needs them to rebuild figure tables from per-shard streams)
 SWEEP_KEYS = frozenset({"figure", "scale", "sizes", "procs", "sanitize",
-                        "specs", "deadline_s"})
+                        "specs", "deadline_s", "full_records"})
 
 #: hard ceiling on specs per sweep request (far above any figure)
 MAX_SWEEP_SPECS = 4096
@@ -158,6 +160,8 @@ def sweep_from_request(data: Any, default_deadline: Optional[float]
     """POST /v1/sweep body -> (figure id or None, points, deadline)."""
     _check_keys(data, SWEEP_KEYS, "sweep")
     deadline = _deadline_from(data, default_deadline)
+    if not isinstance(data.get("full_records", False), bool):
+        raise _bad("'full_records' must be a boolean")
 
     if "specs" in data:
         if "figure" in data:

@@ -10,7 +10,7 @@ one-to-one.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 #: default TCP port of the gateway (repro ~ "8321" has no meaning
 #: beyond being unclaimed)
@@ -26,6 +26,12 @@ class ServiceConfig:
     per-request deadline; ``spec_timeout_s`` bounds one simulation's
     wall-clock inside a worker (see
     :class:`repro.campaign.CampaignRunner`).
+
+    ``shard_id``/``shard_peers`` make the gateway cluster-aware (see
+    ``docs/cluster.md``): the gateway builds the same consistent-hash
+    ring as the router, stamps every metric sample with a ``shard_id``
+    label, and counts requests for keys it does not own
+    (``repro_misrouted_requests_total``) -- it still serves them.
     """
 
     host: str = "127.0.0.1"
@@ -39,10 +45,17 @@ class ServiceConfig:
     drain_grace_s: float = 30.0
     max_body_bytes: int = 8 << 20
     quiet: bool = False
+    shard_id: Optional[str] = None
+    shard_peers: Tuple[str, ...] = ()
+    ring_vnodes: int = 64
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if self.ring_vnodes < 1:
+            raise ValueError("ring_vnodes must be >= 1")
+        if self.shard_peers and self.shard_id not in self.shard_peers:
+            raise ValueError("shard_id must be one of shard_peers")
         if self.max_queue < 1:
             raise ValueError("max_queue must be >= 1")
         if self.deadline_s is not None and self.deadline_s <= 0:

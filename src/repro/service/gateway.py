@@ -58,7 +58,9 @@ class Gateway:
         self.config = config
         self.registry = registry if registry is not None \
             else (scheduler.registry if scheduler is not None
-                  else MetricsRegistry())
+                  else MetricsRegistry(
+                      const_labels={"shard_id": config.shard_id}
+                      if config.shard_id else None))
         self.cache = (ResultCache(config.cache_dir)
                       if config.cache_dir else None)
         self._own_scheduler = scheduler is None
@@ -80,9 +82,26 @@ class Gateway:
             "Wall-clock seconds per HTTP request", ("route",))
         self.m_draining = self.registry.gauge(
             "repro_draining", "1 while the gateway is draining")
+        self.m_misrouted = self.registry.counter(
+            "repro_misrouted_requests_total",
+            "Requests for keys this shard does not own under the "
+            "configured ring (stale upstream ring view); served anyway")
+        self.m_forwarded = self.registry.counter(
+            "repro_forwarded_requests_total",
+            "Requests carrying X-Repro-Forwarded-By (proxied by a "
+            "cluster router)")
+
+        #: ring over the configured peer set, used only to *count*
+        #: misrouted keys -- ownership is advisory, never a 404
+        self._ring = None
+        if config.shard_id and config.shard_peers:
+            from repro.cluster.ring import HashRing
+            self._ring = HashRing(config.shard_peers,
+                                  vnodes=config.ring_vnodes)
 
         self._server: Optional[asyncio.AbstractServer] = None
         self._stopped: Optional[asyncio.Event] = None
+        self._ready = False
         self._draining = False
         self._active_requests = 0
         self._started = time.monotonic()
@@ -100,6 +119,7 @@ class Gateway:
         self._server = await asyncio.start_server(
             self._on_connection, self.config.host, self.config.port)
         self.port = self._server.sockets[0].getsockname()[1]
+        self._ready = True
         self._log(f"listening on http://{self.config.host}:{self.port}")
 
     @property
@@ -111,6 +131,7 @@ class Gateway:
         if self._draining:
             return
         self._draining = True
+        self._ready = False
         self.m_draining.set(1)
         self._log("drain requested; finishing in-flight work")
         asyncio.get_event_loop().create_task(self._drain())
@@ -202,9 +223,12 @@ class Gateway:
                         writer: asyncio.StreamWriter) -> bool:
         """Route + run one request; returns keep-alive."""
         route, handler = self._route(req)
+        if "x-repro-forwarded-by" in req.headers:
+            self.m_forwarded.inc()
         keep = req.keep_alive and not self._draining
         t0 = time.monotonic()
         self._active_requests += 1
+        code = 499    # stays if the handler is cancelled mid-flight
         try:
             code, keep = await handler(req, writer, keep)
         except HttpError as exc:
@@ -235,6 +259,8 @@ class Gateway:
         if path == "/healthz":
             return "healthz", self._require(method, "GET",
                                             self._h_health)
+        if path == "/readyz":
+            return "readyz", self._require(method, "GET", self._h_ready)
         if path == "/metrics":
             return "metrics", self._require(method, "GET",
                                             self._h_metrics)
@@ -264,6 +290,13 @@ class Gateway:
     async def _h_not_found(self, req, writer, keep):
         raise HttpError(404, f"no route for {req.path!r}")
 
+    def _check_ownership(self, key: str) -> None:
+        """Count (never reject) keys another shard owns: a misrouted
+        request means some upstream holds a stale ring view."""
+        if (self._ring is not None
+                and self._ring.owner(key) != self.config.shard_id):
+            self.m_misrouted.inc()
+
     # -- endpoints ------------------------------------------------------
 
     async def _h_health(self, req, writer, keep) -> Tuple[int, bool]:
@@ -279,7 +312,24 @@ class Gateway:
             "max_queue": sched.max_queue,
             "cache": self.cache.root if self.cache is not None else None,
         }
+        if self.config.shard_id is not None:
+            body["shard_id"] = self.config.shard_id
         writer.write(json_response(code, body, keep_alive=keep))
+        return code, keep
+
+    async def _h_ready(self, req, writer, keep) -> Tuple[int, bool]:
+        """Readiness, distinct from liveness: unready before start()
+        finishes and from the moment a drain begins, so a router (or
+        rolling deploy) stops sending work before SIGTERM completes."""
+        ready = self._ready and not self._draining
+        code = 200 if ready else 503
+        body = {"status": "ready" if ready else
+                ("draining" if self._draining else "starting")}
+        if self.config.shard_id is not None:
+            body["shard_id"] = self.config.shard_id
+        writer.write(json_response(
+            code, body, keep_alive=keep,
+            headers=None if ready else {"Retry-After": "1"}))
         return code, keep
 
     async def _h_metrics(self, req, writer, keep) -> Tuple[int, bool]:
@@ -291,6 +341,7 @@ class Gateway:
     async def _h_run(self, req, writer, keep) -> Tuple[int, bool]:
         point, deadline_s = api.run_from_request(
             req.json(), self.config.deadline_s)
+        self._check_ownership(point.spec.key)
         try:
             handle = self.scheduler.admit(point.spec)
         except QueueFull as exc:
@@ -318,6 +369,7 @@ class Gateway:
             raise HttpError(400, "result key must be a 64-char spec "
                             "hash (see the 'key' field of run/sweep "
                             "responses)")
+        self._check_ownership(key)
         record = self.cache.get(key) if self.cache is not None else None
         if record is not None:
             writer.write(json_response(
@@ -333,8 +385,15 @@ class Gateway:
         raise HttpError(404, f"no cached result for {key}")
 
     async def _h_sweep(self, req, writer, keep) -> Tuple[int, bool]:
+        data = req.json()
         fid, points, deadline_s = api.sweep_from_request(
-            req.json(), self.config.deadline_s)
+            data, self.config.deadline_s)
+        # the cluster router asks for full records so it can rebuild
+        # figure tables from per-shard streams
+        full_records = bool(data.get("full_records", False)) \
+            if isinstance(data, dict) else False
+        for pt in points:
+            self._check_ownership(pt.spec.key)
         try:
             handles = self.scheduler.admit_many(
                 [pt.spec for pt in points])
@@ -382,11 +441,14 @@ class Gateway:
                 executed += 1
             if not record.ok:
                 failed += 1
-            writer.write(ndjson_line({
+            event = {
                 "event": "spec", "index": index, "label": point.label,
                 "x": point.x, "key": point.spec.key, "ok": record.ok,
                 "cached": record.cached, "error_type": record.error_type,
-                "metrics": dict(record.metrics)}))
+                "metrics": dict(record.metrics)}
+            if full_records:
+                event["record"] = record.to_jsonable()
+            writer.write(ndjson_line(event))
             await writer.drain()
 
         if fid is not None and failed == 0 and timed_out == 0:
@@ -446,6 +508,19 @@ def build_parser() -> argparse.ArgumentParser:
                         "SIGTERM (default 30)")
     p.add_argument("--quiet", action="store_true",
                    help="suppress log lines on stderr")
+    cluster = p.add_argument_group(
+        "cluster", "shard-aware serving under a repro.cluster router "
+                   "(see docs/cluster.md)")
+    cluster.add_argument("--shard-id", default=None, metavar="ID",
+                         help="this replica's shard id (labels every "
+                              "metric sample)")
+    cluster.add_argument("--shard-peers", default="", metavar="IDS",
+                         help="comma-separated ids of all shards in "
+                              "the ring, including this one")
+    cluster.add_argument("--ring-vnodes", type=int, default=64,
+                         metavar="N",
+                         help="virtual points per shard on the "
+                              "ownership ring (default 64)")
     return p
 
 
@@ -460,7 +535,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             spec_timeout_s=(args.spec_timeout
                             if args.spec_timeout > 0 else None),
             cache_max_mb=args.cache_max_mb,
-            drain_grace_s=args.drain_grace, quiet=args.quiet)
+            drain_grace_s=args.drain_grace, quiet=args.quiet,
+            shard_id=args.shard_id,
+            shard_peers=tuple(s.strip()
+                              for s in args.shard_peers.split(",")
+                              if s.strip()),
+            ring_vnodes=args.ring_vnodes)
     except ValueError as exc:
         print(f"bad service configuration: {exc}", file=sys.stderr)
         return 2
@@ -470,9 +550,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     async def run() -> None:
         await gateway.start()
         # machine-readable boot line on stdout: scripts parse the port
-        print(json.dumps({"service": "repro",
-                          "host": config.host,
-                          "port": gateway.port}), flush=True)
+        boot = {"service": "repro", "host": config.host,
+                "port": gateway.port}
+        if config.shard_id is not None:
+            boot["shard_id"] = config.shard_id
+        print(json.dumps(boot), flush=True)
         loop = asyncio.get_running_loop()
         for sig in (signal.SIGTERM, signal.SIGINT):
             try:

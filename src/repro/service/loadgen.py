@@ -27,6 +27,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import re
 import sys
 import time
 from dataclasses import dataclass, field
@@ -35,6 +36,13 @@ from typing import Dict, List, Optional, Tuple
 from repro.service.metrics import percentile
 
 _MAX_LINE = 1 << 20
+
+#: Prometheus text samples worth breaking out per shard in the report
+_SHARD_SAMPLE_NAMES = ("repro_specs_total", "repro_cache_lookups_total")
+
+_SAMPLE_RE = re.compile(
+    r'^(\w+)(?:\{(.*)\})?\s+([0-9.eE+-]+|\+Inf|NaN)$')
+_LABEL_RE = re.compile(r'(\w+)="((?:[^"\\]|\\.)*)"')
 
 
 @dataclass
@@ -209,10 +217,50 @@ def summarize(all_stats: List[ClientStats], elapsed_s: float,
         report["latency_s"] = {
             "p50": round(percentile(latencies, 50), 6),
             "p90": round(percentile(latencies, 90), 6),
+            "p95": round(percentile(latencies, 95), 6),
             "p99": round(percentile(latencies, 99), 6),
             "max": round(max(latencies), 6),
         }
     return report
+
+
+def parse_shard_counters(text: str) -> Dict[str, Dict[str, float]]:
+    """Per-shard hit/miss/executed tallies from a /metrics exposition.
+
+    Samples without a ``shard_id`` label (a single, non-sharded
+    gateway) land under ``"local"``.
+    """
+    out: Dict[str, Dict[str, float]] = {}
+    for line in text.splitlines():
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            continue
+        name, label_text, value = match.groups()
+        if name not in _SHARD_SAMPLE_NAMES:
+            continue
+        labels = dict(_LABEL_RE.findall(label_text or ""))
+        shard = labels.get("shard_id", "local")
+        entry = out.setdefault(shard, {})
+        if name == "repro_specs_total":
+            field_name = labels.get("status", "unknown")
+        else:
+            field_name = "cache_" + labels.get("result", "unknown")
+        entry[field_name] = entry.get(field_name, 0.0) + float(value)
+    return out
+
+
+async def fetch_shard_counters(args) -> Optional[Dict[str, Dict[str, float]]]:
+    """Best-effort GET /metrics after the run; None on any failure."""
+    client = HttpClient(args.host, args.port)
+    try:
+        status, _headers, body = await client.request("GET", "/metrics")
+    except (ConnectionError, OSError, asyncio.IncompleteReadError):
+        return None
+    finally:
+        await client.close()
+    if status != 200:
+        return None
+    return parse_shard_counters(body.decode("utf-8", "replace")) or None
 
 
 async def run_loadgen(args) -> Dict[str, object]:
@@ -222,7 +270,11 @@ async def run_loadgen(args) -> Dict[str, object]:
     await asyncio.gather(*(
         _client_loop(i, args, path, payloads, all_stats[i])
         for i in range(args.clients)))
-    return summarize(all_stats, time.monotonic() - t0, args)
+    report = summarize(all_stats, time.monotonic() - t0, args)
+    per_shard = await fetch_shard_counters(args)
+    if per_shard is not None:
+        report["per_shard"] = per_shard
+    return report
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -249,6 +301,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="machine sizes for latency figures")
     p.add_argument("--json", metavar="FILE", default=None,
                    help="also write the report as JSON")
+    p.add_argument("--slo-p99-ms", type=float, default=None,
+                   metavar="MS",
+                   help="exit nonzero if observed p99 latency exceeds "
+                        "this many milliseconds (the CI SLO gate)")
     p.add_argument("--quiet", action="store_true")
     return p
 
@@ -259,6 +315,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("--clients and --requests must be >= 1", file=sys.stderr)
         return 2
     report = asyncio.run(run_loadgen(args))
+
+    slo_violated = False
+    if args.slo_p99_ms is not None and "latency_s" in report:
+        observed_ms = report["latency_s"]["p99"] * 1000.0
+        slo_violated = observed_ms > args.slo_p99_ms
+        report["slo"] = {"p99_ms": args.slo_p99_ms,
+                         "observed_p99_ms": round(observed_ms, 3),
+                         "ok": not slo_violated}
+
     if args.json:
         with open(args.json, "w", encoding="utf-8") as fh:
             json.dump(report, fh, indent=2, sort_keys=True)
@@ -269,13 +334,26 @@ def main(argv: Optional[List[str]] = None) -> int:
               f"= {report['throughput_rps']} req/s")
         if lat:
             print(f"  latency p50={lat['p50']}s p90={lat['p90']}s "
-                  f"p99={lat['p99']}s max={lat['max']}s")
+                  f"p95={lat['p95']}s p99={lat['p99']}s "
+                  f"max={lat['max']}s")
         print(f"  statuses={report['by_status']} "
               f"conn_errors={report['conn_errors']} "
               f"spec_events={report['spec_events']} "
               f"(cached {report['cached_events']})")
+        for shard, counts in sorted(
+                report.get("per_shard", {}).items()):
+            executed = int(counts.get("executed", 0))
+            hits = int(counts.get("cache_hit", 0))
+            misses = int(counts.get("cache_miss", 0))
+            print(f"  shard {shard}: executed={executed} "
+                  f"cache_hit={hits} cache_miss={misses}")
+        if "slo" in report:
+            slo = report["slo"]
+            verdict = "ok" if slo["ok"] else "VIOLATED"
+            print(f"  slo p99<={slo['p99_ms']}ms: observed "
+                  f"{slo['observed_p99_ms']}ms ({verdict})")
     failed = report["status_5xx"] or report["conn_errors"]
-    return 1 if failed else 0
+    return 1 if failed or slo_violated else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import math
 from bisect import bisect_left
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 #: default histogram buckets (seconds): spans sub-millisecond cache
 #: hits through multi-minute paper-scale simulations
@@ -39,10 +39,16 @@ class _Metric:
     kind = "untyped"
 
     def __init__(self, name: str, help_text: str,
-                 label_names: Iterable[str] = ()) -> None:
+                 label_names: Iterable[str] = (),
+                 const_labels: Iterable[Tuple[str, str]] = ()) -> None:
         self.name = name
         self.help_text = help_text
         self.label_names: Tuple[str, ...] = tuple(label_names)
+        #: (name, value) pairs stamped on every sample at render time,
+        #: e.g. ``shard_id`` on a cluster shard's registry; call sites
+        #: never pass them
+        self.const_labels: Tuple[Tuple[str, str], ...] = \
+            tuple(const_labels)
 
     def _key(self, labels: Dict[str, str]) -> Tuple[str, ...]:
         if set(labels) != set(self.label_names):
@@ -51,11 +57,14 @@ class _Metric:
                 f"got {tuple(sorted(labels))}")
         return tuple(str(labels[n]) for n in self.label_names)
 
+    def _pairs(self, key: Tuple[str, ...]) -> Tuple[Tuple[str, str], ...]:
+        return self.const_labels + tuple(zip(self.label_names, key))
+
     def _label_text(self, key: Tuple[str, ...]) -> str:
-        if not self.label_names:
+        pairs = self._pairs(key)
+        if not pairs:
             return ""
-        inner = ",".join(f'{n}="{_escape(v)}"'
-                         for n, v in zip(self.label_names, key))
+        inner = ",".join(f'{n}="{_escape(v)}"' for n, v in pairs)
         return "{" + inner + "}"
 
     def samples(self) -> List[str]:
@@ -69,8 +78,9 @@ class _Metric:
 class Counter(_Metric):
     kind = "counter"
 
-    def __init__(self, name, help_text, label_names=()) -> None:
-        super().__init__(name, help_text, label_names)
+    def __init__(self, name, help_text, label_names=(),
+                 const_labels=()) -> None:
+        super().__init__(name, help_text, label_names, const_labels)
         self._values: Dict[Tuple[str, ...], float] = {}
         if not self.label_names:
             self._values[()] = 0.0
@@ -95,8 +105,9 @@ class Counter(_Metric):
 class Gauge(_Metric):
     kind = "gauge"
 
-    def __init__(self, name, help_text, label_names=()) -> None:
-        super().__init__(name, help_text, label_names)
+    def __init__(self, name, help_text, label_names=(),
+                 const_labels=()) -> None:
+        super().__init__(name, help_text, label_names, const_labels)
         self._values: Dict[Tuple[str, ...], float] = {}
         if not self.label_names:
             self._values[()] = 0.0
@@ -123,8 +134,9 @@ class Histogram(_Metric):
     kind = "histogram"
 
     def __init__(self, name, help_text, label_names=(),
-                 buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
-        super().__init__(name, help_text, label_names)
+                 buckets: Sequence[float] = DEFAULT_BUCKETS,
+                 const_labels=()) -> None:
+        super().__init__(name, help_text, label_names, const_labels)
         self.buckets: Tuple[float, ...] = tuple(sorted(buckets))
         if not self.buckets:
             raise ValueError("histogram needs at least one bucket")
@@ -157,9 +169,8 @@ class Histogram(_Metric):
             acc = 0
             for upper, n in zip(self.buckets + (math.inf,), counts):
                 acc += n
-                le = dict(zip(self.label_names, key))
                 inner = ",".join(
-                    [f'{k}="{_escape(v)}"' for k, v in le.items()]
+                    [f'{k}="{_escape(v)}"' for k, v in self._pairs(key)]
                     + [f'le="{_fmt(upper)}"'])
                 lines.append(f"{self.name}_bucket{{{inner}}} {acc}")
             label_text = self._label_text(key)
@@ -169,10 +180,20 @@ class Histogram(_Metric):
 
 
 class MetricsRegistry:
-    """Named metrics, rendered together in registration order."""
+    """Named metrics, rendered together in registration order.
 
-    def __init__(self) -> None:
+    ``const_labels`` (e.g. ``{"shard_id": "shard-2"}``) are stamped on
+    every sample of every registered metric at render time, so one
+    shard's series stay distinguishable when the cluster router
+    aggregates ``/metrics`` across replicas.
+    """
+
+    def __init__(self, const_labels: Optional[Dict[str, str]] = None
+                 ) -> None:
         self._metrics: Dict[str, _Metric] = {}
+        self.const_labels: Tuple[Tuple[str, str], ...] = tuple(
+            (str(k), str(v))
+            for k, v in (const_labels or {}).items())
 
     def _register(self, metric: _Metric) -> _Metric:
         if metric.name in self._metrics:
@@ -181,15 +202,18 @@ class MetricsRegistry:
         return metric
 
     def counter(self, name, help_text, label_names=()) -> Counter:
-        return self._register(Counter(name, help_text, label_names))
+        return self._register(Counter(name, help_text, label_names,
+                                      self.const_labels))
 
     def gauge(self, name, help_text, label_names=()) -> Gauge:
-        return self._register(Gauge(name, help_text, label_names))
+        return self._register(Gauge(name, help_text, label_names,
+                                    self.const_labels))
 
     def histogram(self, name, help_text, label_names=(),
                   buckets=DEFAULT_BUCKETS) -> Histogram:
         return self._register(
-            Histogram(name, help_text, label_names, buckets))
+            Histogram(name, help_text, label_names, buckets,
+                      self.const_labels))
 
     def get(self, name: str) -> _Metric:
         return self._metrics[name]

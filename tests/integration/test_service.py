@@ -346,3 +346,53 @@ class TestServerProcess:
         finally:
             proc.send_signal(signal.SIGTERM)
             assert proc.wait(timeout=60) == 0
+
+
+class TestReadiness:
+    """/readyz is distinct from /healthz: it flips to 503 the moment a
+    drain begins (and before start() completes), so a cluster router
+    stops routing to a shard before its SIGTERM finishes."""
+
+    def test_ready_while_serving(self):
+        async def check(gw, client):
+            status, _, body = await client.request("GET", "/readyz")
+            assert status == 200
+            assert json.loads(body)["status"] == "ready"
+
+        serve(check, scheduler=BlockingScheduler(jobs=1))
+
+    def test_unready_during_drain_while_healthz_still_answers(self):
+        async def check(gw, client):
+            gw._draining = True     # white-box: flag only, server open
+            gw._ready = False
+            status, headers, body = await client.request(
+                "GET", "/readyz")
+            assert status == 503
+            assert json.loads(body)["status"] == "draining"
+            assert "retry-after" in headers
+            gw._draining = False
+            gw._ready = True
+
+        serve(check, scheduler=BlockingScheduler(jobs=1))
+
+    def test_unready_before_start(self):
+        gw = Gateway(ServiceConfig(port=0, jobs=1, quiet=True,
+                                   cache_dir=None),
+                     scheduler=BlockingScheduler(jobs=1))
+        assert gw._ready is False
+
+    def test_shard_identity_in_health_and_boot(self):
+        ids = ("shard-0", "shard-1")
+        config = ServiceConfig(port=0, jobs=1, quiet=True,
+                               cache_dir=None, shard_id="shard-0",
+                               shard_peers=ids)
+
+        async def check(gw, client):
+            status, _, body = await client.request("GET", "/healthz")
+            assert json.loads(body)["shard_id"] == "shard-0"
+            status, _, body = await client.request("GET", "/readyz")
+            assert json.loads(body)["shard_id"] == "shard-0"
+            status, _, body = await client.request("GET", "/metrics")
+            assert 'shard_id="shard-0"' in body.decode()
+
+        serve(check, config=config)

@@ -1,0 +1,166 @@
+"""The sweep planner: partitioning, dedup, and ordered re-merge.
+
+The acceptance bar for the cluster is a merged sweep stream that is
+*deterministic* and *bit-identical in content* to a single gateway's:
+that reduces to (a) the plan covering every unique key exactly once on
+its owner, (b) duplicates collapsing onto their first occurrence
+(cross-shard single-flight), and (c) :class:`OrderedMerge` re-emitting
+out-of-order per-shard completions in global spec order no matter the
+arrival permutation.
+"""
+
+import itertools
+import random
+from dataclasses import dataclass
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.planner import OrderedMerge, SweepPlan, plan_sweep
+from repro.cluster.ring import EmptyRingError, HashRing
+
+
+@dataclass(frozen=True)
+class FakeSpec:
+    key: str
+
+
+@dataclass(frozen=True)
+class FakePoint:
+    spec: FakeSpec
+
+
+def points_for(keys):
+    return [FakePoint(FakeSpec(k)) for k in keys]
+
+
+class TestPlanSweep:
+    def test_empty_ring_raises(self):
+        with pytest.raises(EmptyRingError):
+            plan_sweep(points_for(["k1"]), HashRing())
+
+    def test_partition_covers_unique_keys_once(self):
+        ring = HashRing(["a", "b", "c"])
+        keys = [f"key-{i}" for i in range(40)]
+        plan = plan_sweep(points_for(keys), ring)
+        flat = sorted(i for batch in plan.batches.values()
+                      for i in batch)
+        assert flat == list(range(40))
+        assert plan.unique == 40
+        assert plan.duplicates == 0
+        for shard, indices in plan.batches.items():
+            for i in indices:
+                assert ring.owner(keys[i]) == shard
+                assert plan.shard_of(i) == shard
+
+    def test_duplicates_collapse_to_first_occurrence(self):
+        ring = HashRing(["a", "b"])
+        keys = ["x", "y", "x", "z", "y", "x"]
+        plan = plan_sweep(points_for(keys), ring)
+        assert plan.primary == [0, 1, 0, 3, 1, 0]
+        assert plan.unique == 3
+        assert plan.duplicates == 3
+        planned = sorted(i for batch in plan.batches.values()
+                         for i in batch)
+        assert planned == [0, 1, 3], \
+            "only first occurrences are planned (single-flight)"
+
+    def test_batches_preserve_spec_order(self):
+        ring = HashRing(["a", "b", "c", "d"])
+        plan = plan_sweep(points_for([f"k{i}" for i in range(60)]), ring)
+        for indices in plan.batches.values():
+            assert indices == sorted(indices)
+
+    def test_deterministic(self):
+        ring = HashRing(["a", "b", "c"])
+        pts = points_for([f"k{i}" for i in range(25)])
+        assert plan_sweep(pts, ring) == plan_sweep(pts, ring)
+
+    def test_shard_of_unplanned_index_raises(self):
+        plan = plan_sweep(points_for(["x", "x"]), HashRing(["a"]))
+        with pytest.raises(KeyError):
+            plan.shard_of(1)        # a duplicate, never planned
+
+
+class TestOrderedMerge:
+    def test_in_order_passthrough(self):
+        out = []
+        merge = OrderedMerge(3, lambda i, p: out.append((i, p)))
+        for i in range(3):
+            assert merge.put(i, f"p{i}") == 1
+        assert out == [(0, "p0"), (1, "p1"), (2, "p2")]
+        assert merge.complete
+
+    def test_reverse_arrival_buffers_until_gap_fills(self):
+        out = []
+        merge = OrderedMerge(3, lambda i, p: out.append(i))
+        assert merge.put(2, "c") == 0
+        assert merge.put(1, "b") == 0
+        assert out == []
+        assert merge.emitted == 0
+        assert merge.put(0, "a") == 3
+        assert out == [0, 1, 2]
+
+    def test_duplicate_put_rejected(self):
+        merge = OrderedMerge(2, lambda i, p: None)
+        merge.put(0, "a")
+        with pytest.raises(ValueError):
+            merge.put(0, "again")
+        merge.put(1, "b")
+        with pytest.raises(ValueError):
+            merge.put(1, "again")     # already flushed
+
+    def test_out_of_range_rejected(self):
+        merge = OrderedMerge(2, lambda i, p: None)
+        with pytest.raises(IndexError):
+            merge.put(2, "x")
+        with pytest.raises(IndexError):
+            merge.put(-1, "x")
+
+    def test_all_permutations_of_five(self):
+        for perm in itertools.permutations(range(5)):
+            out = []
+            merge = OrderedMerge(5, lambda i, p: out.append(i))
+            for idx in perm:
+                merge.put(idx, None)
+            assert out == [0, 1, 2, 3, 4], perm
+
+    @settings(max_examples=40, deadline=None)
+    @given(n=st.integers(min_value=1, max_value=64),
+           seed=st.integers(min_value=0, max_value=2**32 - 1))
+    def test_random_arrival_always_emits_in_order(self, n, seed):
+        order = list(range(n))
+        random.Random(seed).shuffle(order)
+        out = []
+        merge = OrderedMerge(n, lambda i, p: out.append((i, p)))
+        for idx in order:
+            merge.put(idx, idx * 10)
+        assert out == [(i, i * 10) for i in range(n)]
+        assert merge.complete
+
+
+class TestPlanMergeTogether:
+    def test_simulated_shard_streams_merge_deterministically(self):
+        """Replay a plan through out-of-order per-shard completion and
+        check the client-visible order is global spec order."""
+        ring = HashRing(["a", "b", "c"])
+        keys = [f"k{i % 7}" for i in range(21)]     # heavy duplication
+        pts = points_for(keys)
+        plan = plan_sweep(pts, ring)
+
+        globals_of = {}
+        for i, p in enumerate(plan.primary):
+            globals_of.setdefault(p, []).append(i)
+
+        out = []
+        merge = OrderedMerge(len(pts), lambda i, p: out.append((i, p)))
+        # shards complete interleaved, each batch out of order
+        arrivals = []
+        for shard, indices in sorted(plan.batches.items()):
+            arrivals.extend(reversed(indices))
+        for primary in arrivals:
+            for gi in globals_of[primary]:
+                merge.put(gi, f"result:{keys[primary]}")
+        assert [i for i, _ in out] == list(range(len(pts)))
+        # every duplicate carries its primary's payload
+        assert all(p == f"result:{keys[i]}" for i, p in out)

@@ -1,0 +1,177 @@
+"""The consistent-hash ring: the properties the cluster stands on.
+
+Three things must hold or the cluster silently mis-caches:
+
+* **stability** -- key ownership is a pure function of (shard set,
+  vnodes), identical across processes and insertion orders, because
+  the router and every shard each build their own ring and must agree;
+* **bounded movement** -- membership changes move only the keys the
+  change forces: a joining shard only *takes* keys (~1/N), a leaving
+  shard only *gives up* its own;
+* **balance** -- with vnodes=64 no shard owns a wildly outsized share.
+
+Hypothesis drives the movement properties over random shard sets and
+keys; a subprocess check pins cross-process stability against
+``PYTHONHASHSEED`` leaks.
+"""
+
+import json
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.ring import DEFAULT_VNODES, EmptyRingError, HashRing
+
+
+def keys(n, prefix="key"):
+    return [f"{prefix}-{i:04d}" for i in range(n)]
+
+
+class TestBasics:
+    def test_empty_ring_raises(self):
+        ring = HashRing()
+        with pytest.raises(EmptyRingError):
+            ring.owner("anything")
+        with pytest.raises(EmptyRingError):
+            ring.preference("anything")
+
+    def test_vnodes_validation(self):
+        with pytest.raises(ValueError):
+            HashRing(vnodes=0)
+
+    def test_empty_shard_id_rejected(self):
+        with pytest.raises(ValueError):
+            HashRing([""])
+
+    def test_membership(self):
+        ring = HashRing(["a", "b"])
+        assert len(ring) == 2
+        assert "a" in ring and "c" not in ring
+        assert ring.shards == frozenset({"a", "b"})
+
+    def test_add_remove_idempotent(self):
+        ring = HashRing(["a"])
+        ring.add("a")
+        assert len(ring) == 1
+        ring.remove("missing")
+        ring.remove("a")
+        ring.remove("a")
+        assert len(ring) == 0
+
+    def test_single_shard_owns_everything(self):
+        ring = HashRing(["only"])
+        assert all(ring.owner(k) == "only" for k in keys(50))
+
+    def test_preference_starts_at_owner_and_is_distinct(self):
+        ring = HashRing(["a", "b", "c", "d"])
+        for key in keys(30):
+            pref = ring.preference(key)
+            assert pref[0] == ring.owner(key)
+            assert sorted(pref) == sorted(set(pref))
+            assert set(pref) == ring.shards
+
+    def test_preference_n_limits(self):
+        ring = HashRing(["a", "b", "c"])
+        assert len(ring.preference("k", n=2)) == 2
+
+
+class TestStability:
+    def test_insertion_order_independent(self):
+        shards = ["s0", "s1", "s2", "s3", "s4"]
+        forward = HashRing(shards)
+        backward = HashRing(reversed(shards))
+        for key in keys(200):
+            assert forward.owner(key) == backward.owner(key)
+
+    def test_remove_then_readd_restores_mapping(self):
+        ring = HashRing(["a", "b", "c"])
+        before = {k: ring.owner(k) for k in keys(200)}
+        ring.remove("b")
+        ring.add("b")
+        assert {k: ring.owner(k) for k in keys(200)} == before
+
+    def test_stable_across_processes(self):
+        """Ownership must not depend on PYTHONHASHSEED or any other
+        per-process state: router and shards each build their own
+        ring from shard ids alone."""
+        shards = ["shard-0", "shard-1", "shard-2"]
+        sample = keys(64)
+        local = {k: HashRing(shards).owner(k) for k in sample}
+        script = (
+            "import json, sys\n"
+            "from repro.cluster.ring import HashRing\n"
+            "shards, sample = json.load(sys.stdin)\n"
+            "ring = HashRing(shards)\n"
+            "print(json.dumps({k: ring.owner(k) for k in sample}))\n")
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            input=json.dumps([shards, sample]), text=True,
+            capture_output=True, check=True)
+        assert json.loads(out.stdout) == local
+
+
+class TestBalance:
+    def test_no_shard_grossly_overloaded(self):
+        n_shards, n_keys = 5, 2000
+        ring = HashRing([f"shard-{i}" for i in range(n_shards)])
+        counts = {}
+        for key in keys(n_keys):
+            owner = ring.owner(key)
+            counts[owner] = counts.get(owner, 0) + 1
+        assert len(counts) == n_shards, "some shard owns zero keys"
+        for owner, count in counts.items():
+            share = count / n_keys
+            assert 0.3 / n_shards < share < 3.0 / n_shards, \
+                f"{owner} owns {share:.1%} of the key space"
+
+
+shard_sets = st.lists(
+    st.sampled_from([f"shard-{i}" for i in range(12)]),
+    min_size=1, max_size=8, unique=True)
+key_sets = st.lists(st.text(min_size=1, max_size=24),
+                    min_size=1, max_size=120, unique=True)
+
+
+class TestMovement:
+    @settings(max_examples=60, deadline=None)
+    @given(shards=shard_sets, sample=key_sets)
+    def test_join_only_takes_keys(self, shards, sample):
+        """Adding a shard may only move keys TO the new shard."""
+        ring = HashRing(shards)
+        before = {k: ring.owner(k) for k in sample}
+        ring.add("joiner")
+        for key in sample:
+            after = ring.owner(key)
+            if after != before[key]:
+                assert after == "joiner"
+
+    @settings(max_examples=60, deadline=None)
+    @given(shards=shard_sets, sample=key_sets)
+    def test_leave_only_moves_its_own_keys(self, shards, sample):
+        """Removing a shard may only move the keys it owned."""
+        ring = HashRing(shards + ["leaver"])
+        before = {k: ring.owner(k) for k in sample}
+        ring.remove("leaver")
+        for key in sample:
+            if before[key] != "leaver":
+                assert ring.owner(key) == before[key]
+
+    def test_join_moves_about_one_nth(self):
+        n_keys = 3000
+        ring = HashRing([f"shard-{i}" for i in range(4)])
+        sample = keys(n_keys)
+        before = {k: ring.owner(k) for k in sample}
+        ring.add("shard-4")
+        moved = sum(1 for k in sample if ring.owner(k) != before[k])
+        # exactly the joiner's share should move: ~1/5 of keys, with
+        # generous slack for vnode placement variance
+        assert moved / n_keys < 2.0 / 5
+        assert moved > 0
+
+
+class TestDefaultVnodes:
+    def test_default_is_64(self):
+        assert DEFAULT_VNODES == 64
+        assert HashRing(["a"]).vnodes == 64

@@ -141,3 +141,43 @@ class TestPercentile:
         h = Histogram("lat", "h", buckets=(math.inf,))
         h.observe(1.0)
         assert h.samples()[0] == 'lat_bucket{le="+Inf"} 1'
+
+
+class TestConstLabels:
+    """shard_id stamping: one registry per shard, every sample tagged,
+    so the cluster router's aggregated /metrics stays per-replica."""
+
+    def test_unlabeled_counter_gains_const_labels(self):
+        reg = MetricsRegistry(const_labels={"shard_id": "shard-1"})
+        reg.counter("a_total", "h").inc(3)
+        assert 'a_total{shard_id="shard-1"} 3' in reg.render()
+
+    def test_labeled_counter_merges_const_and_call_labels(self):
+        reg = MetricsRegistry(const_labels={"shard_id": "s0"})
+        c = reg.counter("b_total", "h", ("status",))
+        c.inc(status="ok")
+        assert 'b_total{shard_id="s0",status="ok"} 1' in reg.render()
+
+    def test_call_sites_never_pass_const_labels(self):
+        reg = MetricsRegistry(const_labels={"shard_id": "s0"})
+        c = reg.counter("c_total", "h")
+        with pytest.raises(ValueError):
+            c.inc(shard_id="s0")
+
+    def test_histogram_buckets_carry_const_labels(self):
+        reg = MetricsRegistry(const_labels={"shard_id": "s0"})
+        h = reg.histogram("lat_seconds", "h")
+        h.observe(0.002)
+        text = reg.render()
+        assert 'lat_seconds_bucket{shard_id="s0",le="+Inf"} 1' in text
+        assert 'lat_seconds_count{shard_id="s0"} 1' in text
+
+    def test_gauge_carries_const_labels(self):
+        reg = MetricsRegistry(const_labels={"shard_id": "s0"})
+        reg.gauge("up", "h").set(1)
+        assert 'up{shard_id="s0"} 1' in reg.render()
+
+    def test_no_const_labels_renders_unchanged(self):
+        reg = MetricsRegistry()
+        reg.counter("plain_total", "h").inc()
+        assert "plain_total 1" in reg.render()
